@@ -1,0 +1,89 @@
+// Fig. 8(a): number of generated test packets per scheme across topologies
+// with varying numbers of flow entries.
+//
+// Paper's reported shape: SDNProbe generates the fewest probes; ATPG is
+// ~30% above SDNProbe on average (approximation loss + bounded candidate
+// enumeration at scale); Randomized SDNProbe sends +72% on average over
+// SDNProbe; Per-rule equals the rule count.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/atpg.h"
+#include "baselines/per_rule.h"
+#include "bench/bench_util.h"
+
+using namespace sdnprobe;
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  bench::print_header("Fig 8(a): number of generated test packets",
+                      "SDNProbe ICDCS'18 Figure 8(a)");
+
+  struct Size {
+    int switches;
+    int links;
+    long rules;
+  };
+  // The paper runs 100 topologies; we sweep representative sizes x seeds.
+  std::vector<Size> sizes = full ? std::vector<Size>{{20, 36, 5000},
+                                                     {30, 54, 12000},
+                                                     {40, 75, 22000},
+                                                     {50, 95, 35000}}
+                                 : std::vector<Size>{{20, 36, 3000},
+                                                     {26, 46, 6000},
+                                                     {30, 54, 12000},
+                                                     {36, 65, 20000}};
+  const int seeds = full ? 3 : 2;
+
+  // ATPG's candidate pool is memory-bounded: it materializes every
+  // enumerated path (its per-class rule histories), whereas SDNProbe's MLPC
+  // never enumerates. We cap the pool at a fixed budget; rules the truncated
+  // pool misses fall back to per-rule probes, which is where ATPG's gap
+  // widens with scale (see EXPERIMENTS.md).
+  const std::size_t atpg_pool_cap = 20000;
+
+  std::printf("%8s %8s | %9s %11s %9s %9s | %7s %7s\n", "rules", "switches",
+              "SDNProbe", "Randomized", "ATPG", "Per-rule", "ATPG/S",
+              "Rand/S");
+  util::Samples atpg_ratio, rand_ratio;
+  for (const auto& sz : sizes) {
+    for (int s = 0; s < seeds; ++s) {
+      bench::WorkloadSpec spec;
+      spec.switches = sz.switches;
+      spec.links = sz.links;
+      spec.rule_target = sz.rules;
+      spec.seed = static_cast<std::uint64_t>(s) + 1;
+      const bench::Workload w = bench::make_workload(spec);
+      core::RuleGraph graph(w.rules);
+      sim::EventLoop loop;
+      dataplane::Network net(w.rules, loop);
+      controller::Controller ctrl(w.rules, net);
+
+      core::LocalizerConfig lc;
+      core::FaultLocalizer det(graph, ctrl, loop, lc);
+      lc.randomized = true;
+      core::FaultLocalizer rnd(graph, ctrl, loop, lc);
+      baselines::AtpgConfig ac;
+      ac.max_candidate_paths = atpg_pool_cap;
+      baselines::Atpg atpg(graph, ctrl, loop, ac);
+      baselines::PerRuleTest prt(graph, ctrl, loop);
+
+      const double sdn = static_cast<double>(det.initial_probe_count());
+      const double rndc = static_cast<double>(rnd.initial_probe_count());
+      const double atp = static_cast<double>(atpg.probe_count());
+      const double prr = static_cast<double>(prt.probe_count());
+      atpg_ratio.add(atp / sdn);
+      rand_ratio.add(rndc / sdn);
+      std::printf("%8zu %8d | %9.0f %11.0f %9.0f %9.0f | %7.2f %7.2f\n",
+                  w.rules.entry_count(), sz.switches, sdn, rndc, atp, prr,
+                  atp / sdn, rndc / sdn);
+    }
+  }
+  std::printf("\nsummary: ATPG sends %.0f%% more probes than SDNProbe "
+              "(paper: ~30%% more, i.e. SDNProbe reduces by 30%%)\n",
+              (atpg_ratio.mean() - 1.0) * 100.0);
+  std::printf("summary: Randomized SDNProbe sends +%.0f%% vs SDNProbe "
+              "(paper: +72%% avg, +76%% max)\n",
+              (rand_ratio.mean() - 1.0) * 100.0);
+  return 0;
+}

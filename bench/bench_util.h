@@ -1,0 +1,80 @@
+// Shared workload builders and CLI plumbing for the paper-reproduction
+// benches (see DESIGN.md §3 for the experiment → binary mapping).
+//
+// Every bench accepts `--full` to run at the paper's full scale; the default
+// scale is reduced so `for b in build/bench/*; do $b; done` completes in a
+// few minutes. All randomness is seeded; runs are reproducible.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "controller/controller.h"
+#include "core/localizer.h"
+#include "core/rule_graph.h"
+#include "core/scenario.h"
+#include "dataplane/network.h"
+#include "flow/synthesizer.h"
+#include "topo/generator.h"
+
+namespace sdnprobe::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+struct Workload {
+  topo::Graph topology;
+  flow::RuleSet rules;
+};
+
+struct WorkloadSpec {
+  int switches = 20;
+  int links = 36;
+  long rule_target = 3000;
+  bool aggregates = true;
+  double short_prefix_fraction = 0.25;
+  double set_field_fraction = 0.05;
+  int k_paths = 3;
+  std::uint64_t seed = 1;
+};
+
+inline Workload make_workload(const WorkloadSpec& spec) {
+  topo::GeneratorConfig tc;
+  tc.node_count = spec.switches;
+  tc.link_count = spec.links;
+  tc.seed = spec.seed;
+  Workload w{topo::make_rocketfuel_like(tc), {}};
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = spec.rule_target;
+  sc.aggregates = spec.aggregates;
+  sc.short_prefix_fraction = spec.short_prefix_fraction;
+  sc.set_field_fraction = spec.set_field_fraction;
+  sc.k_paths = spec.k_paths;
+  sc.seed = spec.seed * 7919 + 13;
+  w.rules = flow::synthesize_ruleset(w.topology, sc);
+  return w;
+}
+
+// Chain-structured variant (no aggregates / LPM overlaps): the per-flow
+// tables used for the basic-fault accuracy comparison (Fig. 9(a)), where a
+// misdirected packet must not be "rescued" by a catch-all route.
+inline Workload make_chain_workload(WorkloadSpec spec) {
+  spec.aggregates = false;
+  spec.short_prefix_fraction = 0.0;
+  spec.set_field_fraction = 0.0;
+  return make_workload(spec);
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace sdnprobe::bench

@@ -1,0 +1,105 @@
+// Live policy updates (§VIII-C + Monocle's use case): new flow entries are
+// installed while SDNProbe is monitoring. Instead of rebuilding the rule
+// graph (the most expensive pre-computation step), the controller applies
+// incremental updates and immediately verifies the *new* rules with fresh
+// probes.
+//
+// Build & run:  cmake --build build && ./build/examples/incremental_update
+#include <cstdio>
+
+#include "controller/controller.h"
+#include "core/localizer.h"
+#include "core/mlpc.h"
+#include "core/probe_engine.h"
+#include "core/rule_graph.h"
+#include "dataplane/network.h"
+#include "flow/synthesizer.h"
+#include "topo/generator.h"
+#include "util/timer.h"
+
+using namespace sdnprobe;
+
+int main() {
+  topo::GeneratorConfig tc;
+  tc.node_count = 14;
+  tc.link_count = 24;
+  tc.seed = 11;
+  const topo::Graph topology = topo::make_rocketfuel_like(tc);
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = 3000;
+  sc.seed = 12;
+  flow::RuleSet rules = flow::synthesize_ruleset(topology, sc);
+
+  util::WallTimer build;
+  core::RuleGraph graph(rules);
+  std::printf("initial rule graph: %d entries in %.1f ms\n",
+              graph.vertex_count(), build.elapsed_millis());
+
+  sim::EventLoop loop;
+  dataplane::Network net(rules, loop);
+  controller::Controller ctrl(rules, net);
+
+  // An operator installs a new, more specific route for one flow: a
+  // higher-priority rule at the same switch steering a /28-like sub-range.
+  const flow::EntryId base_id = graph.entry_of(graph.vertex_count() / 2);
+  const flow::FlowEntry& base = rules.entry(base_id);
+  flow::FlowEntry update;
+  update.switch_id = base.switch_id;
+  update.table_id = base.table_id;
+  update.priority = base.priority + 1;
+  hsa::TernaryString match = base.match;
+  for (int b = rules.header_width() - 1; b >= 0; --b) {
+    if (match.get(b) == hsa::Trit::kWild) {
+      match.set(b, hsa::Trit::kOne);
+      break;
+    }
+  }
+  update.match = match;
+  update.action = base.action;
+  const flow::EntryId new_id = rules.add_entry(update);
+  net.install_entry(rules.entry(new_id));  // FlowMod to the data plane
+
+  util::WallTimer incr;
+  const core::VertexId v = graph.apply_entry_added(new_id);
+  std::printf("incremental graph update: %.2f ms (vs full rebuild above)\n",
+              incr.elapsed_millis());
+  if (v < 0) {
+    std::printf("new rule is dead on arrival (fully shadowed) - nothing to "
+                "verify\n");
+    return 1;
+  }
+
+  // Verify just the new rule: a probe along a legal path through it.
+  core::ProbeEngine engine(graph);
+  util::Rng rng(3);
+  const auto probe = engine.make_probe({v}, rng);
+  if (!probe.has_value()) {
+    std::printf("could not synthesize a probe for the new rule\n");
+    return 1;
+  }
+  const auto tp =
+      ctrl.install_test_point(probe->terminal_entry, probe->expected_return);
+  bool verified = false;
+  ctrl.set_probe_return_handler([&](std::uint64_t, flow::SwitchId,
+                                    const dataplane::Packet& p, sim::SimTime) {
+    verified = (p.header == probe->expected_return);
+  });
+  dataplane::Packet pkt;
+  pkt.header = probe->header;
+  pkt.probe_id = probe->probe_id;
+  ctrl.send_packet(probe->inject_switch, pkt);
+  loop.run();
+  ctrl.remove_test_point(tp);
+  std::printf("new rule %d on switch %d: %s\n", new_id, update.switch_id,
+              verified ? "verified working" : "NOT verified");
+
+  // The monitoring cover picks up the new rule on its next regeneration.
+  const core::Cover cover = core::MlpcSolver().solve(graph);
+  bool covered = false;
+  for (const auto& p : cover.paths) {
+    for (const auto pv : p.vertices) covered |= (pv == v);
+  }
+  std::printf("next full cover: %zu probes, new rule covered: %s\n",
+              cover.path_count(), covered ? "yes" : "NO");
+  return verified && covered ? 0 : 1;
+}

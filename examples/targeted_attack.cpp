@@ -1,0 +1,79 @@
+// Targeting-fault detection via traffic-aware header randomization (§V-C):
+// a compromised switch degrades only the headers a popular flow actually
+// uses (e.g. one hot /24 inside a /16 rule). A fixed probe header almost
+// surely misses the victim sub-space; sampling probe headers from the
+// observed traffic distribution (the paper's sFlow-based h^t(ℓ)) hits it.
+//
+// Build & run:  cmake --build build && ./build/examples/targeted_attack
+#include <cstdio>
+
+#include "controller/controller.h"
+#include "core/localizer.h"
+#include "core/rule_graph.h"
+#include "core/scenario.h"
+#include "dataplane/network.h"
+#include "flow/synthesizer.h"
+#include "topo/generator.h"
+
+using namespace sdnprobe;
+
+int main() {
+  topo::GeneratorConfig tc;
+  tc.node_count = 16;
+  tc.link_count = 28;
+  tc.seed = 4;
+  const topo::Graph topology = topo::make_rocketfuel_like(tc);
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = 1200;
+  sc.seed = 5;
+  const flow::RuleSet rules = flow::synthesize_ruleset(topology, sc);
+  core::RuleGraph graph(rules);
+
+  // The elephant flows crossing this network — and the attacker aims at one.
+  util::Rng rng(7);
+  const core::TrafficModel traffic = core::make_traffic_model(graph, 6, rng);
+  std::printf("traffic model: %zu popular flow aggregates\n",
+              traffic.profile.flow_count());
+
+  auto plant = [&](dataplane::Network& net, util::Rng& r) {
+    core::FaultMix mix;
+    mix.misdirect = false;
+    mix.modify = false;
+    mix.targeting_fraction = 1.0;  // every fault is a targeting fault
+    return core::plan_basic_faults(graph, 3, mix, r, &net.faults(), &traffic);
+  };
+
+  for (const bool randomized : {false, true}) {
+    sim::EventLoop loop;
+    dataplane::Network net(rules, loop);
+    controller::Controller ctrl(rules, net);
+    util::Rng fault_rng(21);
+    plant(net, fault_rng);
+    const auto truth = net.faulty_switches();
+
+    core::LocalizerConfig lc;
+    lc.randomized = randomized;
+    lc.profile = &traffic.profile;  // header randomization source (§V-C)
+    lc.max_rounds = randomized ? 250 : 12;
+    lc.quiet_full_rounds_to_stop = randomized ? 250 : 2;
+    core::FaultLocalizer loc(graph, ctrl, loop, lc);
+    const auto report = loc.run([&truth](const core::DetectionReport& r) {
+      for (const auto s : truth) {
+        if (!r.flagged(s)) return false;
+      }
+      return true;
+    });
+    const auto score = core::score_detection(report.flagged_switches, truth,
+                                             rules.switch_count());
+    std::printf("%-22s flagged %zu/%zu targeting switches, FNR %.0f%%, "
+                "FPR %.0f%% (%.1f s, %d rounds)\n",
+                randomized ? "Randomized SDNProbe:" : "SDNProbe (fixed):",
+                report.flagged_switches.size(), truth.size(),
+                score.false_negative_rate() * 100,
+                score.false_positive_rate() * 100, report.total_time_s,
+                report.rounds);
+  }
+  std::printf("\nthe fixed variant's blind spot is the paper's Table I 'FN';"
+              "\ntraffic-aware random headers close it (§V-C).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Per-rule test baseline (Chi et al. [12]; Monocle [31][32]), as
+// characterized in §III-C/§VII: one test packet per flow entry, injected at
+// the entry's previous-hop switch and captured at its next-hop switch. A
+// failing probe cannot distinguish which of the three involved switches
+// misbehaved, so all of them are blamed — zero false negatives on basic
+// persistent faults, but false positives that grow with the fault count.
+// No additional localization rounds are needed (fastest at high fault
+// rates, Fig. 8(c)), but the probe count equals the rule count (Fig. 8(a)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "controller/controller.h"
+#include "core/localizer.h"
+#include "core/probe_engine.h"
+#include "core/rule_graph.h"
+#include "sim/event_loop.h"
+
+namespace sdnprobe::baselines {
+
+struct PerRuleConfig {
+  double probe_rate_bytes_per_s = 250e3;
+  int probe_size_bytes = 64;
+  double round_grace_s = 0.1;
+  std::uint64_t seed = 1;
+};
+
+class PerRuleTest {
+ public:
+  PerRuleTest(const core::RuleGraph& graph, controller::Controller& ctrl,
+              sim::EventLoop& loop, PerRuleConfig config = {});
+
+  // One probe per testable rule.
+  std::size_t probe_count() const {
+    return static_cast<std::size_t>(graph_->vertex_count());
+  }
+
+  core::DetectionReport run();
+
+ private:
+  const core::RuleGraph* graph_;
+  controller::Controller* ctrl_;
+  sim::EventLoop* loop_;
+  PerRuleConfig config_;
+  core::ProbeEngine engine_;
+  util::Rng rng_;
+};
+
+}  // namespace sdnprobe::baselines

@@ -1,0 +1,72 @@
+#include "baselines/round_runner.h"
+
+#include <unordered_map>
+
+namespace sdnprobe::baselines {
+
+std::vector<bool> run_probe_round(const core::RuleGraph& graph,
+                                  controller::Controller& ctrl,
+                                  sim::EventLoop& loop,
+                                  const std::vector<core::Probe>& probes,
+                                  const RoundParams& params,
+                                  std::uint64_t& next_correlation_id) {
+  struct State {
+    std::uint64_t id;
+    bool returned = false;
+    bool mismatched = false;
+  };
+  std::vector<State> states(probes.size());
+  std::vector<controller::TestPointId> points;
+  points.reserve(probes.size());
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    states[i].id = next_correlation_id++;
+    by_id[states[i].id] = i;
+    points.push_back(ctrl.install_test_point(probes[i].terminal_entry,
+                                             probes[i].expected_return));
+  }
+  loop.run_until(loop.now() + 2.0 * ctrl.network().config().control_latency_s);
+
+  ctrl.set_probe_return_handler(
+      [&](std::uint64_t id, flow::SwitchId from, const dataplane::Packet& pk,
+          sim::SimTime) {
+        const auto it = by_id.find(id);
+        if (it == by_id.end()) return;
+        State& st = states[it->second];
+        const core::Probe& p = probes[it->second];
+        st.returned = true;
+        const flow::SwitchId expect_sw =
+            graph.rules().entry(p.terminal_entry).switch_id;
+        if (from != expect_sw || !(pk.header == p.expected_return)) {
+          st.mismatched = true;
+        }
+      });
+
+  const double spacing =
+      static_cast<double>(params.probe_size_bytes) /
+      params.probe_rate_bytes_per_s;
+  double t = loop.now();
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    dataplane::Packet pk;
+    pk.header = probes[i].header;
+    pk.probe_id = states[i].id;
+    pk.size_bytes = params.probe_size_bytes;
+    const flow::SwitchId sw = probes[i].inject_switch;
+    loop.schedule_at(t, [&ctrl, sw, pk]() { ctrl.send_packet(sw, pk); });
+    t += spacing;
+  }
+  loop.run_until(t + params.round_grace_s);
+  ctrl.set_probe_return_handler(nullptr);
+
+  for (const auto& tp : points) ctrl.remove_test_point(tp);
+  loop.run_until(loop.now() + 2.0 * ctrl.network().config().control_latency_s);
+
+  std::vector<bool> failed(probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    failed[i] = !states[i].returned || states[i].mismatched;
+  }
+  return failed;
+}
+
+}  // namespace sdnprobe::baselines

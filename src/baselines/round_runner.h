@@ -1,0 +1,32 @@
+// Shared probe-round machinery for the baseline schemes: install test
+// points, inject probes at the configured rate, wait for returns, tear
+// down, and report which probes failed (missing or modified).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "controller/controller.h"
+#include "core/probe_engine.h"
+#include "core/rule_graph.h"
+#include "sim/event_loop.h"
+
+namespace sdnprobe::baselines {
+
+struct RoundParams {
+  double probe_rate_bytes_per_s = 250e3;
+  int probe_size_bytes = 64;
+  double round_grace_s = 0.1;
+};
+
+// Runs one send/collect round. failed[i] is true when probes[i] did not
+// return or returned altered. `next_correlation_id` is advanced so stale
+// returns from earlier rounds are never miscounted.
+std::vector<bool> run_probe_round(const core::RuleGraph& graph,
+                                  controller::Controller& ctrl,
+                                  sim::EventLoop& loop,
+                                  const std::vector<core::Probe>& probes,
+                                  const RoundParams& params,
+                                  std::uint64_t& next_correlation_id);
+
+}  // namespace sdnprobe::baselines

@@ -1,0 +1,89 @@
+// The SDN controller's data-plane interface, standing in for the Ryu /
+// OpenFlow 1.3 control channel the paper's implementation used (§VIII).
+//
+// Responsibilities:
+//  * FlowMod-level management of test flow entries, including the paper's
+//    §VI three-step terminal-switch procedure: (1) copy the terminal entry r
+//    into a dedicated test table, (2) insert the exact-match test entry with
+//    higher priority in that table, (3) rewrite r's instruction to
+//    goto(test table). Normal traffic matching r is unaffected — it falls
+//    through to the copy, which applies r's original set field and action.
+//  * PacketOut injection of probes and PacketIn dispatch of returned probes.
+//  * Allocation of entry ids above the policy range.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "dataplane/network.h"
+#include "flow/ruleset.h"
+#include "hsa/ternary.h"
+
+namespace sdnprobe::controller {
+
+// Handle for one installed test point (one probe's terminal interception).
+struct TestPointId {
+  flow::EntryId terminal = -1;    // the tested terminal entry r
+  flow::EntryId test_entry = -1;  // the exact-match to-controller entry
+};
+
+class Controller {
+ public:
+  Controller(const flow::RuleSet& rules, dataplane::Network& net);
+
+  // Installs the §VI test point: probes whose header equals `probe_header`
+  // at r's switch are punted to the controller instead of forwarded.
+  // Multiple test points may coexist per terminal entry (refcounted).
+  TestPointId install_test_point(flow::EntryId terminal,
+                                 const hsa::TernaryString& probe_header);
+
+  // Removes one test point; restores the terminal entry when its last test
+  // point goes away.
+  void remove_test_point(const TestPointId& tp);
+
+  void remove_all_test_points();
+
+  // Number of FlowMod operations issued since construction (for overhead
+  // accounting in benches).
+  std::uint64_t flowmod_count() const { return flowmods_; }
+
+  // Injects a packet at a switch (PacketOut through the pipeline).
+  void send_packet(flow::SwitchId sw, dataplane::Packet p);
+
+  // Called for every probe PacketIn: (probe id, switch it returned from,
+  // packet, simulated arrival time).
+  using ProbeReturnHandler = std::function<void(
+      std::uint64_t, flow::SwitchId, const dataplane::Packet&, sim::SimTime)>;
+  void set_probe_return_handler(ProbeReturnHandler h) {
+    probe_return_handler_ = std::move(h);
+  }
+
+  const flow::RuleSet& rules() const { return *rules_; }
+  dataplane::Network& network() { return *net_; }
+
+ private:
+  flow::EntryId allocate_entry_id() { return next_entry_id_++; }
+  flow::TableId test_table_for(flow::SwitchId sw);
+
+  struct TerminalState {
+    flow::TableId test_table = -1;
+    flow::EntryId copy_id = -1;
+    flow::Action original_action;
+    hsa::TernaryString original_set_field;
+    int refcount = 0;
+  };
+
+  const flow::RuleSet* rules_;
+  dataplane::Network* net_;
+  flow::EntryId next_entry_id_;
+  std::uint64_t flowmods_ = 0;
+  std::map<flow::EntryId, TerminalState> terminals_;
+  std::map<flow::SwitchId, flow::TableId> test_tables_;
+  // test entry id -> (switch, table) for removal.
+  std::map<flow::EntryId, std::pair<flow::SwitchId, flow::TableId>>
+      test_entries_;
+  ProbeReturnHandler probe_return_handler_;
+};
+
+}  // namespace sdnprobe::controller

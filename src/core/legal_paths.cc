@@ -1,0 +1,136 @@
+#include "core/legal_paths.h"
+
+#include <algorithm>
+
+namespace sdnprobe::core {
+namespace {
+
+// Shared recursive walker. Visitor is called once per maximal legal path;
+// returns false to stop the whole enumeration.
+template <typename Visitor>
+class PathWalker {
+ public:
+  PathWalker(const RuleGraph& g, util::Rng* rng, Visitor visit)
+      : g_(g), rng_(rng), visit_(std::move(visit)) {}
+
+  // `per_source_budget` caps how many maximal paths each source vertex may
+  // emit (0 = unlimited). Budgeted enumeration degrades gracefully when the
+  // pool cap is smaller than the number of legal paths: every source still
+  // contributes, instead of the cap being exhausted by the first sources.
+  bool run(std::size_t per_source_budget = 0) {
+    const int V = g_.vertex_count();
+    std::vector<std::uint8_t> has_legal_pred(static_cast<std::size_t>(V), 0);
+    // A vertex is a start candidate unless some predecessor can legally
+    // precede it (the 2-vertex path [p, v] is legal).
+    for (VertexId v = 0; v < V; ++v) {
+      for (const VertexId p : g_.predecessors(v)) {
+        if (g_.is_legal_path({p, v})) {
+          has_legal_pred[static_cast<std::size_t>(v)] = 1;
+          break;
+        }
+      }
+    }
+    for (VertexId v = 0; v < V; ++v) {
+      if (has_legal_pred[static_cast<std::size_t>(v)]) continue;
+      path_.clear();
+      source_budget_ = per_source_budget;
+      dfs(v, hsa::HeaderSpace::full(g_.rules().header_width()));
+      if (stop_all_) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool dfs(VertexId v, const hsa::HeaderSpace& incoming) {
+    hsa::HeaderSpace hs = g_.propagate(incoming, v);
+    if (hs.is_empty()) return true;  // not actually extendable this way
+    path_.push_back(v);
+    bool extended = false;
+    std::vector<VertexId> succ = g_.successors(v);
+    if (rng_) rng_->shuffle(succ);
+    for (const VertexId w : succ) {
+      // Legal continuation check is done inside the recursive call.
+      hsa::HeaderSpace next = hs.intersect(g_.in_space(w));
+      if (next.is_empty()) continue;
+      extended = true;
+      if (!dfs(w, hs)) {
+        path_.pop_back();
+        return false;
+      }
+    }
+    bool keep_going = true;
+    if (!extended) {
+      if (!visit_(path_)) {
+        stop_all_ = true;
+        keep_going = false;
+      } else if (source_budget_ > 0 && --source_budget_ == 0) {
+        keep_going = false;  // this source's share is spent; next source
+      }
+    }
+    path_.pop_back();
+    return keep_going;
+  }
+
+  const RuleGraph& g_;
+  util::Rng* rng_;
+  Visitor visit_;
+  std::vector<VertexId> path_;
+  std::size_t source_budget_ = 0;
+  bool stop_all_ = false;
+};
+
+}  // namespace
+
+LegalPathStats compute_legal_path_stats(const RuleGraph& g,
+                                        std::size_t max_paths) {
+  LegalPathStats stats;
+  std::size_t total_len = 0;
+  auto visit = [&](const std::vector<VertexId>& path) {
+    ++stats.total_paths;
+    total_len += path.size();
+    stats.max_length = std::max(stats.max_length, path.size());
+    if (stats.total_paths >= max_paths) {
+      stats.truncated = true;
+      return false;
+    }
+    return true;
+  };
+  PathWalker<decltype(visit)> walker(g, nullptr, visit);
+  walker.run();
+  if (stats.total_paths > 0) {
+    stats.average_length =
+        static_cast<double>(total_len) / static_cast<double>(stats.total_paths);
+  }
+  return stats;
+}
+
+std::vector<std::vector<VertexId>> enumerate_legal_paths(const RuleGraph& g,
+                                                         std::size_t max_paths,
+                                                         util::Rng* rng) {
+  // Split the pool cap fairly across sources so truncation thins every
+  // region of the graph instead of starving the sources visited last.
+  std::size_t sources = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    bool has_legal_pred = false;
+    for (const VertexId p : g.predecessors(v)) {
+      if (g.is_legal_path({p, v})) {
+        has_legal_pred = true;
+        break;
+      }
+    }
+    if (!has_legal_pred) ++sources;
+  }
+  const std::size_t per_source =
+      sources == 0 ? 0 : std::max<std::size_t>(1, max_paths / sources);
+
+  std::vector<std::vector<VertexId>> out;
+  auto visit = [&](const std::vector<VertexId>& path) {
+    out.push_back(path);
+    return out.size() < max_paths;
+  };
+  PathWalker<decltype(visit)> walker(g, rng, visit);
+  walker.run(per_source);
+  return out;
+}
+
+}  // namespace sdnprobe::core

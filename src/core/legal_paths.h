@@ -1,0 +1,36 @@
+// Legal-path enumeration and statistics (Table II's MLPS / ALPS / NLPS
+// columns) plus the candidate-path generator shared with the ATPG baseline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rule_graph.h"
+#include "util/rng.h"
+
+namespace sdnprobe::core {
+
+struct LegalPathStats {
+  std::size_t total_paths = 0;    // NLPS
+  std::size_t max_length = 0;     // MLPS (vertices per path)
+  double average_length = 0.0;    // ALPS
+  bool truncated = false;         // enumeration hit the cap
+};
+
+// Enumerates maximal legal paths: DFS from every vertex with no step-1
+// predecessor (and from vertices unreachable from such sources), extending
+// while some packet can continue (Definition 1); a path ends where no legal
+// extension exists. `max_paths` bounds the enumeration; when hit, stats are
+// marked truncated.
+LegalPathStats compute_legal_path_stats(const RuleGraph& g,
+                                        std::size_t max_paths = 50'000'000);
+
+// Enumerates up to `max_paths` maximal legal paths (the actual vertex
+// sequences). Used by the ATPG baseline as its set-cover candidate pool.
+// With `rng`, DFS branch order is randomized so truncated enumerations are
+// not biased toward low vertex ids.
+std::vector<std::vector<VertexId>> enumerate_legal_paths(
+    const RuleGraph& g, std::size_t max_paths, util::Rng* rng = nullptr);
+
+}  // namespace sdnprobe::core

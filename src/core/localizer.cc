@@ -1,0 +1,286 @@
+#include "core/localizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sdnprobe::core {
+
+bool DetectionReport::flagged(flow::SwitchId s) const {
+  return std::binary_search(flagged_switches.begin(), flagged_switches.end(),
+                            s);
+}
+
+FaultLocalizer::FaultLocalizer(const RuleGraph& graph,
+                               controller::Controller& ctrl,
+                               sim::EventLoop& loop, LocalizerConfig config)
+    : graph_(&graph),
+      ctrl_(&ctrl),
+      loop_(&loop),
+      config_(config),
+      engine_(graph),
+      rng_(config.seed) {}
+
+void FaultLocalizer::charge_wall_time(double seconds) {
+  if (config_.charge_generation_time && seconds > 0.0) {
+    loop_->run_until(loop_->now() + seconds);
+  }
+}
+
+std::vector<Probe> FaultLocalizer::generate_full_cover() {
+  util::WallTimer timer;
+  if (!config_.randomized) {
+    if (!fixed_ready_) {
+      MlpcConfig mc;
+      mc.randomized = false;
+      mc.search_budget = config_.mlpc_search_budget;
+      const Cover cover = MlpcSolver(mc).solve(*graph_);
+      fixed_probes_ = engine_.make_probes(cover, rng_, nullptr);
+      fixed_ready_ = true;
+      charge_wall_time(timer.elapsed_seconds());
+    }
+    // Reuse identical headers; only the correlation ids are refreshed by
+    // make_probe-free cloning below (headers must stay fixed so that a
+    // targeting fault outside the chosen headers stays a blind spot, as the
+    // paper's deterministic variant does).
+    return fixed_probes_;
+  }
+  MlpcConfig mc;
+  mc.randomized = true;
+  mc.seed = rng_.next();
+  mc.search_budget = config_.mlpc_search_budget;
+  const Cover cover = MlpcSolver(mc).solve(*graph_);
+  engine_.reset_uniqueness();
+  if (config_.profile && !config_.profile->empty()) {
+    period_profile_ = config_.profile->period_snapshot(rng_);
+    have_period_ = true;
+  }
+  std::vector<Probe> probes =
+      engine_.make_probes(cover, rng_, active_profile());
+  charge_wall_time(timer.elapsed_seconds());
+  return probes;
+}
+
+std::size_t FaultLocalizer::initial_probe_count() {
+  if (config_.randomized) return generate_full_cover().size();
+  if (!fixed_ready_) generate_full_cover();
+  return fixed_probes_.size();
+}
+
+DetectionReport FaultLocalizer::run(RoundCallback callback) {
+  DetectionReport report;
+  const double t0 = loop_->now();
+
+  struct PendingProbe {
+    Probe probe;
+    int linger = 0;  // >0: localization probe retested this many more rounds
+  };
+  auto as_pending = [](std::vector<Probe> probes) {
+    std::vector<PendingProbe> out;
+    out.reserve(probes.size());
+    for (auto& p : probes) out.push_back(PendingProbe{std::move(p), 0});
+    return out;
+  };
+  std::vector<PendingProbe> pending = as_pending(generate_full_cover());
+  bool pending_is_full_cover = true;
+  int consecutive_quiet_full = 0;
+  std::uint64_t next_round_probe_id = 1u << 20;  // round-local correlation ids
+  // Paths already sliced this detection run (avoid duplicate children).
+  std::set<std::pair<flow::EntryId, flow::EntryId>> sliced;
+
+  for (int round = 1; round <= config_.max_rounds; ++round) {
+    RoundRecord rec;
+    rec.round = round;
+    rec.start_s = loop_->now();
+    if (pending.empty()) break;
+
+    if (config_.round_jitter_s > 0.0) {
+      loop_->run_until(loop_->now() +
+                       rng_.next_double() * config_.round_jitter_s);
+    }
+
+    // Header uniqueness is scoped to the concurrently installed test points:
+    // restart the pool from this round's headers so sliced-children headers
+    // are free to re-land on the same traffic-period cube as their parent.
+    engine_.reset_uniqueness();
+    for (const PendingProbe& p : pending) engine_.note_used(p.probe.header);
+
+    // --- Install test points (batched FlowMods: one control RTT). ---
+    std::vector<ActiveProbe> active;
+    active.reserve(pending.size());
+    std::unordered_map<std::uint64_t, std::size_t> by_id;
+    for (const PendingProbe& pp : pending) {
+      ActiveProbe ap;
+      ap.linger = pp.linger;
+      ap.probe = pp.probe;
+      ap.probe.probe_id = next_round_probe_id++;
+      ap.test_point = ctrl_->install_test_point(pp.probe.terminal_entry,
+                                                pp.probe.expected_return);
+      by_id[ap.probe.probe_id] = active.size();
+      active.push_back(std::move(ap));
+    }
+    loop_->run_until(loop_->now() +
+                     2.0 * ctrl_->network().config().control_latency_s);
+
+    // --- Inject probes at the configured rate; collect returns. ---
+    ctrl_->set_probe_return_handler(
+        [&](std::uint64_t id, flow::SwitchId from, const dataplane::Packet& pk,
+            sim::SimTime) {
+          const auto it = by_id.find(id);
+          if (it == by_id.end()) return;  // stale return from prior round
+          ActiveProbe& ap = active[it->second];
+          ap.returned = true;
+          const flow::SwitchId expect_sw =
+              graph_->rules().entry(ap.probe.terminal_entry).switch_id;
+          if (from != expect_sw || !(pk.header == ap.probe.expected_return)) {
+            ap.mismatched = true;
+          }
+        });
+
+    const double spacing = static_cast<double>(config_.probe_size_bytes) /
+                           config_.probe_rate_bytes_per_s;
+    double t = loop_->now();
+    for (ActiveProbe& ap : active) {
+      dataplane::Packet pk;
+      pk.header = ap.probe.header;
+      pk.probe_id = ap.probe.probe_id;
+      pk.size_bytes = config_.probe_size_bytes;
+      const flow::SwitchId sw = ap.probe.inject_switch;
+      loop_->schedule_at(t, [this, sw, pk]() { ctrl_->send_packet(sw, pk); });
+      t += spacing;
+      ++report.probes_sent;
+    }
+    loop_->run_until(t + config_.round_grace_s);
+    ctrl_->set_probe_return_handler(nullptr);
+
+    // --- Evaluate (Algorithm 2 lines 5-16). ---
+    // Failing probes stay in the tested set (line 14) and multi-rule
+    // failures are additionally sliced (line 10). Probes whose path touches
+    // an already-flagged switch are "explained" -- the switch is awaiting
+    // manual inspection -- and retire from testing, which is what lets the
+    // scheme quiesce under persistent faults.
+    std::vector<PendingProbe> next;
+    sliced.clear();  // spans queued for the *next* round (dedup within it)
+    auto queue_probe = [&](Probe p, int linger) {
+      const std::pair<flow::EntryId, flow::EntryId> span{p.entries.front(),
+                                                         p.entries.back()};
+      if (sliced.insert(span).second) {
+        next.push_back(PendingProbe{std::move(p), linger});
+      }
+    };
+    std::size_t failures = 0;
+    for (ActiveProbe& ap : active) {
+      const bool failed = !ap.returned || ap.mismatched;
+      if (!failed) {
+        // Localization probes linger so they are already in flight when an
+        // intermittent fault's next active window opens.
+        if (ap.linger > 1) queue_probe(ap.probe, ap.linger - 1);
+        continue;
+      }
+      bool explained = false;
+      for (const flow::EntryId e : ap.probe.entries) {
+        if (flagged_.count(graph_->rules().entry(e).switch_id)) {
+          explained = true;
+          break;
+        }
+      }
+      if (explained) continue;
+      ++failures;
+      for (const flow::EntryId e : ap.probe.entries) ++suspicion_[e];
+      // Accumulated-suspicion flagging (intermittent faults): the strictly
+      // most-suspected rule on this failing path crossing the strong
+      // threshold identifies its switch.
+      if (ap.probe.entries.size() > 1) {
+        flow::EntryId top = -1;
+        int top_s = -1;
+        bool unique = false;
+        for (const flow::EntryId e : ap.probe.entries) {
+          const int s = suspicion_[e];
+          if (s > top_s) {
+            top_s = s;
+            top = e;
+            unique = true;
+          } else if (s == top_s) {
+            unique = false;
+          }
+        }
+        if (unique && top_s > config_.strong_suspicion_threshold) {
+          const flow::SwitchId sw = graph_->rules().entry(top).switch_id;
+          if (!flagged_.count(sw)) {
+            flagged_.insert(sw);
+            rec.newly_flagged.push_back(sw);
+            report.detection_time_s = loop_->now() - t0;
+          }
+          continue;  // path explained by the new flag
+        }
+      }
+      if (ap.probe.entries.size() > 1) {
+        // slice_path: two halves join the next round alongside the parent.
+        const auto& verts = ap.probe.path;
+        const std::size_t mid = verts.size() / 2;
+        const std::vector<VertexId> left(
+            verts.begin(), verts.begin() + static_cast<std::ptrdiff_t>(mid));
+        const std::vector<VertexId> right(
+            verts.begin() + static_cast<std::ptrdiff_t>(mid), verts.end());
+        for (const auto& half : {left, right}) {
+          auto p = engine_.make_probe(half, rng_, active_profile());
+          if (p.has_value()) queue_probe(std::move(*p), config_.linger_rounds);
+        }
+        queue_probe(ap.probe, config_.linger_rounds);
+      } else {
+        const flow::EntryId e = ap.probe.entries.front();
+        const flow::SwitchId sw = graph_->rules().entry(e).switch_id;
+        if (suspicion_[e] > config_.suspicion_threshold) {
+          flagged_.insert(sw);
+          rec.newly_flagged.push_back(sw);
+          report.detection_time_s = loop_->now() - t0;
+        } else {
+          // Keep retesting the singleton.
+          queue_probe(ap.probe, config_.linger_rounds);
+        }
+      }
+    }
+
+    // --- Teardown test points (batched). ---
+    for (const ActiveProbe& ap : active) {
+      ctrl_->remove_test_point(ap.test_point);
+    }
+    loop_->run_until(loop_->now() +
+                     2.0 * ctrl_->network().config().control_latency_s);
+
+    rec.end_s = loop_->now();
+    rec.probes = active.size();
+    rec.failures = failures;
+    report.round_log.push_back(rec);
+    report.rounds = round;
+
+    if (pending_is_full_cover && failures == 0) {
+      ++consecutive_quiet_full;
+    } else if (failures > 0) {
+      consecutive_quiet_full = 0;
+    }
+
+    report.flagged_switches.assign(flagged_.begin(), flagged_.end());
+    report.total_time_s = loop_->now() - t0;
+    if (callback && callback(report)) break;
+    if (consecutive_quiet_full >= config_.quiet_full_rounds_to_stop) break;
+
+    if (next.empty()) {
+      // Algorithm 2 line 16: restart the full set.
+      pending = as_pending(generate_full_cover());
+      pending_is_full_cover = true;
+      sliced.clear();
+    } else {
+      pending = std::move(next);
+      pending_is_full_cover = false;
+    }
+  }
+
+  report.flagged_switches.assign(flagged_.begin(), flagged_.end());
+  report.total_time_s = loop_->now() - t0;
+  return report;
+}
+
+}  // namespace sdnprobe::core

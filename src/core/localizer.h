@@ -1,0 +1,156 @@
+// Fault localization (§VI, Algorithm 2).
+//
+// Each detection round installs a test point at every tested path's terminal
+// entry, injects the probes at the paper's probe rate, and waits for
+// PacketIn returns. A probe that fails to return (or returns modified)
+// marks its path suspicious: every rule on the path gains suspicion, and the
+// path is sliced in two for the next round. A rule whose singleton path
+// fails while its suspicion exceeds the threshold identifies its switch as
+// faulty (default threshold 3, per §VIII).
+//
+// Deterministic SDNProbe reuses one minimum cover (and the same probe
+// headers) every round. Randomized SDNProbe re-draws the cover with the
+// randomized matcher and fresh traffic-biased headers at every full-cover
+// restart (§V-C), which is what defeats detouring colluders and targeting
+// faults over time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "controller/controller.h"
+#include "core/mlpc.h"
+#include "core/probe_engine.h"
+#include "core/rule_graph.h"
+#include "core/traffic_profile.h"
+#include "sim/event_loop.h"
+
+namespace sdnprobe::core {
+
+struct LocalizerConfig {
+  // Suspicion threshold (paper default 3): a switch is flagged when one of
+  // its rules fails as a singleton path with suspicion > threshold.
+  int suspicion_threshold = 3;
+  // Accumulated-suspicion flagging for intermittent faults (§VI: "once the
+  // suspicion level of a switch exceeds a certain detection threshold, the
+  // switch is considered faulty"): when a failing path's *strictly*
+  // most-suspected rule crosses this level, its switch is flagged even if
+  // the fault's active windows are too short for slicing to reach a
+  // singleton. The strict-argmax guard keeps false positives at zero: a
+  // benign co-path rule is separated from the real culprit as soon as one
+  // sliced half passes while the other fails.
+  int strong_suspicion_threshold = 9;
+  // How many rounds a sliced (localization) probe keeps being retested
+  // after it last failed. An intermittent fault's active window is often
+  // shorter than one slicing descent; lingering probes are already in
+  // flight when the next active window opens, so each window advances the
+  // localization by another level instead of restarting from the top.
+  int linger_rounds = 6;
+  // Probe injection rate (paper: 250 KBytes/s) and probe wire size.
+  double probe_rate_bytes_per_s = 250e3;
+  int probe_size_bytes = 64;
+  // Extra simulated wait after the last probe of a round for in-flight
+  // returns (covers worst-case path RTT).
+  double round_grace_s = 0.1;
+  // Random delay in [0, round_jitter_s) before each round. Without jitter a
+  // fixed round cadence can phase-lock with an intermittent fault's period
+  // and sample only its inactive windows, hiding it forever.
+  double round_jitter_s = 0.15;
+  int max_rounds = 64;
+  // Randomized SDNProbe: re-draw cover and headers at every full restart.
+  bool randomized = false;
+  std::uint64_t seed = 1;
+  // Optional traffic profile for header randomization (used in randomized
+  // mode; ignored otherwise to keep deterministic headers stable).
+  const TrafficProfile* profile = nullptr;
+  // Stop after this many consecutive failure-free full-cover rounds.
+  int quiet_full_rounds_to_stop = 1;
+  // Charge measured wall-clock of cover/probe (re)generation to the
+  // simulated clock, as the paper's detection delay includes generation.
+  bool charge_generation_time = true;
+  // MLPC search budget (see MlpcConfig).
+  std::size_t mlpc_search_budget = 4096;
+};
+
+struct RoundRecord {
+  int round = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::size_t probes = 0;
+  std::size_t failures = 0;
+  std::vector<flow::SwitchId> newly_flagged;
+};
+
+struct DetectionReport {
+  std::vector<flow::SwitchId> flagged_switches;  // sorted, unique
+  // Simulated time at which the last switch was flagged (0 when none).
+  double detection_time_s = 0.0;
+  // Total simulated time of the run.
+  double total_time_s = 0.0;
+  std::size_t probes_sent = 0;
+  int rounds = 0;
+  std::vector<RoundRecord> round_log;
+
+  bool flagged(flow::SwitchId s) const;
+};
+
+class FaultLocalizer {
+ public:
+  // Called after every round with the report so far; return true to stop
+  // early (used by benches that track FNR over time).
+  using RoundCallback = std::function<bool(const DetectionReport&)>;
+
+  FaultLocalizer(const RuleGraph& graph, controller::Controller& ctrl,
+                 sim::EventLoop& loop, LocalizerConfig config = {});
+
+  // Runs Algorithm 2 until quiescence, max_rounds, or the callback stops it.
+  DetectionReport run(RoundCallback callback = nullptr);
+
+  // Per-rule suspicion levels accumulated so far; §VI suggests operators use
+  // these to prioritize manual inspection.
+  const std::map<flow::EntryId, int>& suspicion_levels() const {
+    return suspicion_;
+  }
+
+  // Number of probes in the initial full cover (Fig. 8(a) metric).
+  std::size_t initial_probe_count();
+
+ private:
+  struct ActiveProbe {
+    Probe probe;
+    controller::TestPointId test_point;
+    bool returned = false;
+    bool mismatched = false;
+    int linger = 0;  // remaining lingering rounds (localization probes)
+  };
+
+  // (Re)generates the full-cover probe list; charges wall time to sim time.
+  std::vector<Probe> generate_full_cover();
+  void charge_wall_time(double seconds);
+
+  const RuleGraph* graph_;
+  controller::Controller* ctrl_;
+  sim::EventLoop* loop_;
+  LocalizerConfig config_;
+  ProbeEngine engine_;
+  util::Rng rng_;
+  // Deterministic mode: the fixed cover probes, reused each restart.
+  std::vector<Probe> fixed_probes_;
+  bool fixed_ready_ = false;
+
+  std::map<flow::EntryId, int> suspicion_;
+  std::set<flow::SwitchId> flagged_;
+  // Per-period traffic snapshot (§V-C h^t(ℓ)): refreshed at each full-cover
+  // restart in randomized mode so a whole detection cycle samples headers
+  // from the flows dominating that period.
+  TrafficProfile period_profile_;
+  bool have_period_ = false;
+  const TrafficProfile* active_profile() const {
+    return have_period_ ? &period_profile_ : nullptr;
+  }
+};
+
+}  // namespace sdnprobe::core

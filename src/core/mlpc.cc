@@ -1,0 +1,390 @@
+#include "core/mlpc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+
+namespace sdnprobe::core {
+namespace {
+
+// Mutable cover under construction.
+struct WorkPath {
+  std::vector<VertexId> vertices;
+  hsa::HeaderSpace output_space;
+  bool alive = true;
+};
+
+struct StitchResult {
+  int target_path = -1;               // path whose head we reached
+  std::vector<VertexId> route;        // intermediate vertices (may be empty)
+  hsa::HeaderSpace stitched_space;    // forward space of the merged path
+};
+
+// Searches for a path head legally reachable from `from_path`'s tail.
+// DFS over step-1 successors, propagating the forward header space exactly.
+// Already-covered vertices may be traversed (lazy transitive closure).
+class StitchSearch {
+ public:
+  StitchSearch(const RuleGraph& g, const std::vector<WorkPath>& paths,
+               const std::vector<int>& head_path_of, std::size_t budget,
+               util::Rng* rng, double accept_probability = 1.0)
+      : g_(g),
+        paths_(paths),
+        head_path_of_(head_path_of),
+        budget_(budget),
+        rng_(rng),
+        accept_probability_(accept_probability) {}
+
+  std::optional<StitchResult> find(int from_path) {
+    visited_.assign(static_cast<std::size_t>(g_.vertex_count()), 0);
+    route_.clear();
+    from_path_ = from_path;
+    const WorkPath& p = paths_[static_cast<std::size_t>(from_path)];
+    if (rng_) return random_walk(p.vertices.back(), p.output_space);
+    return dfs(p.vertices.back(), p.output_space);
+  }
+
+ private:
+  // Randomized mode: one random greedy walk, no backtracking — the
+  // Dyer–Frieze random-matching analogue. Walks that dead-end leave the
+  // tail unmerged, which is what breaks long chains at random points and
+  // why Randomized SDNProbe sends more probes (§V-C, Fig. 8(a)) while its
+  // tested-path terminals vary from round to round.
+  std::optional<StitchResult> random_walk(VertexId at,
+                                          hsa::HeaderSpace space) {
+    // Random rejection up front: some tails simply stay path ends this
+    // round, which is what renders terminal positions unpredictable.
+    if (!rng_->next_bool(accept_probability_)) return std::nullopt;
+    while (budget_ > 0) {
+      std::vector<VertexId> succ = g_.successors(at);
+      rng_->shuffle(succ);
+      VertexId advance_to = -1;
+      hsa::HeaderSpace advance_space;
+      for (const VertexId w : succ) {
+        if (visited_[static_cast<std::size_t>(w)]) continue;
+        --budget_;
+        visited_[static_cast<std::size_t>(w)] = 1;
+        const int q = head_path_of_[static_cast<std::size_t>(w)];
+        if (q >= 0 && q != from_path_ &&
+            paths_[static_cast<std::size_t>(q)].alive) {
+          hsa::HeaderSpace through = space;
+          for (const VertexId qv :
+               paths_[static_cast<std::size_t>(q)].vertices) {
+            through = g_.propagate(through, qv);
+            if (through.is_empty()) break;
+          }
+          if (!through.is_empty()) {
+            return StitchResult{q, route_, std::move(through)};
+          }
+        }
+        hsa::HeaderSpace next = g_.propagate(space, w);
+        if (!next.is_empty()) {
+          advance_to = w;
+          advance_space = std::move(next);
+          break;  // single walk: commit to the first viable continuation
+        }
+      }
+      if (advance_to < 0) return std::nullopt;  // dead end: give up
+      route_.push_back(advance_to);
+      at = advance_to;
+      space = std::move(advance_space);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<StitchResult> dfs(VertexId at, const hsa::HeaderSpace& space) {
+    std::vector<VertexId> succ = g_.successors(at);
+    // Prefer heads with few feeders: a successor only we can reach must be
+    // claimed by us or it stays a singleton; heads with many predecessors
+    // can still be stitched by someone else. This ordering recovers most of
+    // what full Hopcroft–Karp augmentation would, at a fraction of the cost.
+    std::stable_sort(succ.begin(), succ.end(), [this](VertexId a, VertexId b) {
+      return g_.predecessors(a).size() < g_.predecessors(b).size();
+    });
+    for (const VertexId w : succ) {
+      if (visited_[static_cast<std::size_t>(w)]) continue;
+      if (budget_ == 0) return std::nullopt;
+      --budget_;
+      visited_[static_cast<std::size_t>(w)] = 1;
+      // Candidate: w heads another alive path — try the full merge.
+      const int q = head_path_of_[static_cast<std::size_t>(w)];
+      if (q >= 0 && q != from_path_ &&
+          paths_[static_cast<std::size_t>(q)].alive) {
+        hsa::HeaderSpace through = space;
+        const auto& qverts = paths_[static_cast<std::size_t>(q)].vertices;
+        for (const VertexId qv : qverts) {
+          through = g_.propagate(through, qv);
+          if (through.is_empty()) break;
+        }
+        if (!through.is_empty()) {
+          return StitchResult{q, route_, std::move(through)};
+        }
+      }
+      // Traverse w as an intermediate hop.
+      hsa::HeaderSpace next = g_.propagate(space, w);
+      if (next.is_empty()) continue;
+      route_.push_back(w);
+      if (auto r = dfs(w, next)) return r;
+      route_.pop_back();
+    }
+    return std::nullopt;
+  }
+
+  const RuleGraph& g_;
+  const std::vector<WorkPath>& paths_;
+  const std::vector<int>& head_path_of_;
+  std::size_t budget_;
+  util::Rng* rng_;
+  double accept_probability_ = 1.0;
+  int from_path_ = -1;
+  std::vector<std::uint8_t> visited_;
+  std::vector<VertexId> route_;
+};
+
+// Applies a found stitch: `pi` absorbs the target path (and the interposed
+// route) and the target's head stops being a head.
+void commit_merge(std::vector<WorkPath>& paths, std::vector<int>& head_path_of,
+                  int pi, StitchResult result) {
+  WorkPath& p = paths[static_cast<std::size_t>(pi)];
+  WorkPath& q = paths[static_cast<std::size_t>(result.target_path)];
+  head_path_of[static_cast<std::size_t>(q.vertices.front())] = -1;
+  p.vertices.insert(p.vertices.end(), result.route.begin(),
+                    result.route.end());
+  p.vertices.insert(p.vertices.end(), q.vertices.begin(), q.vertices.end());
+  p.output_space = std::move(result.stitched_space);
+  q.alive = false;
+  q.vertices.clear();
+}
+
+// First (path, index) location of each vertex across alive cover paths.
+struct Loc {
+  int path = -1;
+  int idx = -1;
+};
+
+std::vector<Loc> build_locations(int vertex_count,
+                                 const std::vector<WorkPath>& paths) {
+  std::vector<Loc> loc(static_cast<std::size_t>(vertex_count));
+  for (std::size_t pi = 0; pi < paths.size(); ++pi) {
+    if (!paths[pi].alive) continue;
+    for (std::size_t i = 0; i < paths[pi].vertices.size(); ++i) {
+      Loc& l = loc[static_cast<std::size_t>(paths[pi].vertices[i])];
+      if (l.path < 0) {
+        l.path = static_cast<int>(pi);
+        l.idx = static_cast<int>(i);
+      }
+    }
+  }
+  return loc;
+}
+
+// One alternation of a legal augmenting path (Definition 3): the stranded
+// tail of `pi` either finds a free head outright, or captures the suffix of
+// a donor path whose freshly exposed tail can merge onto a free head.
+// Returns true when the total path count decreased by one.
+bool augment(const RuleGraph& g, std::vector<WorkPath>& paths,
+             std::vector<int>& head_path_of, const std::vector<Loc>& loc,
+             int pi, std::size_t budget) {
+  WorkPath& p = paths[static_cast<std::size_t>(pi)];
+  std::vector<std::uint8_t> visited(
+      static_cast<std::size_t>(g.vertex_count()), 0);
+  std::vector<VertexId> route;
+
+  auto propagate_along = [&g](hsa::HeaderSpace hs, const auto begin,
+                              const auto end) {
+    for (auto it = begin; it != end && !hs.is_empty(); ++it) {
+      hs = g.propagate(hs, *it);
+    }
+    return hs;
+  };
+
+  std::function<bool(VertexId, const hsa::HeaderSpace&)> dfs =
+      [&](VertexId at, const hsa::HeaderSpace& space) -> bool {
+    for (const VertexId w : g.successors(at)) {
+      if (visited[static_cast<std::size_t>(w)] || budget == 0) continue;
+      --budget;
+      visited[static_cast<std::size_t>(w)] = 1;
+
+      const int q = head_path_of[static_cast<std::size_t>(w)];
+      if (q >= 0 && q != pi && paths[static_cast<std::size_t>(q)].alive) {
+        // Free head: plain merge (the greedy move, retried post-rearrange).
+        const auto& qv = paths[static_cast<std::size_t>(q)].vertices;
+        hsa::HeaderSpace through =
+            propagate_along(space, qv.begin(), qv.end());
+        if (!through.is_empty()) {
+          commit_merge(paths, head_path_of, pi,
+                       StitchResult{q, route, std::move(through)});
+          return true;
+        }
+      } else if (const Loc l = loc[static_cast<std::size_t>(w)];
+                 l.path >= 0 && l.path != pi && l.idx > 0 &&
+                 paths[static_cast<std::size_t>(l.path)].alive) {
+        // Donor suffix capture: R = prefix | w-suffix; we take the suffix.
+        WorkPath& r = paths[static_cast<std::size_t>(l.path)];
+        if (static_cast<std::size_t>(l.idx) < r.vertices.size() &&
+            r.vertices[static_cast<std::size_t>(l.idx)] == w) {
+          hsa::HeaderSpace through = propagate_along(
+              space, r.vertices.begin() + l.idx, r.vertices.end());
+          if (!through.is_empty()) {
+            const WorkPath p_backup = p;
+            const WorkPath r_backup = r;
+            // Tentatively rearrange.
+            p.vertices.insert(p.vertices.end(), route.begin(), route.end());
+            p.vertices.insert(p.vertices.end(), r.vertices.begin() + l.idx,
+                              r.vertices.end());
+            p.output_space = std::move(through);
+            r.vertices.resize(static_cast<std::size_t>(l.idx));
+            r.output_space = propagate_along(
+                hsa::HeaderSpace::full(g.rules().header_width()),
+                r.vertices.begin(), r.vertices.end());
+            // The donor's new tail must land on a free head for the
+            // rearrangement to pay off.
+            StitchSearch secondary(g, paths, head_path_of, budget, nullptr);
+            if (auto res = secondary.find(l.path)) {
+              commit_merge(paths, head_path_of, l.path, std::move(*res));
+              return true;
+            }
+            p = p_backup;
+            r = r_backup;
+          }
+        }
+      }
+
+      hsa::HeaderSpace next = g.propagate(space, w);
+      if (next.is_empty()) continue;
+      route.push_back(w);
+      if (dfs(w, next)) return true;
+      route.pop_back();
+    }
+    return false;
+  };
+
+  return dfs(p.vertices.back(), p.output_space);
+}
+
+}  // namespace
+
+std::size_t Cover::total_vertices() const {
+  std::size_t n = 0;
+  for (const auto& p : paths) n += p.vertices.size();
+  return n;
+}
+
+Cover MlpcSolver::solve(const RuleGraph& g) const {
+  if (config_.randomized) return solve_once(g, config_.seed);
+  Cover best = solve_once(g, config_.seed);
+  for (int r = 1; r < config_.deterministic_restarts; ++r) {
+    Cover c = solve_once(g, config_.seed + 0xC0FFEEull * static_cast<std::uint64_t>(r));
+    if (c.path_count() < best.path_count()) best = std::move(c);
+  }
+  return best;
+}
+
+Cover MlpcSolver::solve_once(const RuleGraph& g, std::uint64_t seed) const {
+  const int V = g.vertex_count();
+  std::vector<WorkPath> paths;
+  paths.reserve(static_cast<std::size_t>(V));
+  std::vector<int> head_path_of(static_cast<std::size_t>(V), -1);
+  for (VertexId v = 0; v < V; ++v) {
+    if (!g.is_active(v)) continue;  // deactivated by an incremental update
+    WorkPath p;
+    p.vertices = {v};
+    p.output_space =
+        g.propagate(hsa::HeaderSpace::full(g.rules().header_width()), v);
+    assert(!p.output_space.is_empty());
+    head_path_of[static_cast<std::size_t>(v)] = static_cast<int>(paths.size());
+    paths.push_back(std::move(p));
+  }
+
+  util::Rng rng(seed);
+  util::Rng* rng_ptr = config_.randomized ? &rng : nullptr;
+
+  std::deque<int> worklist;
+  {
+    std::vector<int> order(paths.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<int>(i);
+    }
+    // Merge order is permuted in both modes: randomized mode for per-round
+    // path diversity, deterministic mode across best-of restarts.
+    rng.shuffle(order);
+    worklist.assign(order.begin(), order.end());
+  }
+
+  while (!worklist.empty()) {
+    const int pi = worklist.front();
+    worklist.pop_front();
+    WorkPath& p = paths[static_cast<std::size_t>(pi)];
+    if (!p.alive) continue;
+    StitchSearch search(g, paths, head_path_of, config_.search_budget,
+                        rng_ptr, config_.stitch_accept_probability);
+    const auto result = search.find(pi);
+    if (!result.has_value()) continue;  // tail is final; path complete
+    WorkPath& q = paths[static_cast<std::size_t>(result->target_path)];
+    // Merge: P + route + Q.
+    head_path_of[static_cast<std::size_t>(q.vertices.front())] = -1;
+    p.vertices.insert(p.vertices.end(), result->route.begin(),
+                      result->route.end());
+    p.vertices.insert(p.vertices.end(), q.vertices.begin(), q.vertices.end());
+    p.output_space = result->stitched_space;
+    q.alive = false;
+    q.vertices.clear();
+    // The merged path has a new tail; try to extend it further.
+    worklist.push_back(pi);
+  }
+
+  // Augmentation sweeps (deterministic mode): the greedy phase can strand a
+  // tail because another path claimed its only reachable head. The paper's
+  // modified Hopcroft–Karp fixes such conflicts with legal augmenting paths
+  // (Definition 3); we realize the same rearrangement as a split-and-merge:
+  // a stranded tail may capture the *suffix* of another cover path when the
+  // donor's freshly exposed tail can itself merge onto a free head — one
+  // alternation of the augmenting path, applied until a fixed point.
+  if (!config_.randomized) {
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      bool progress = false;
+      std::vector<Loc> loc = build_locations(V, paths);
+      for (std::size_t pi = 0; pi < paths.size(); ++pi) {
+        if (!paths[pi].alive) continue;
+        if (augment(g, paths, head_path_of, loc, static_cast<int>(pi),
+                    config_.search_budget)) {
+          progress = true;
+          loc = build_locations(V, paths);
+        }
+      }
+      if (!progress) break;
+    }
+  }
+
+  Cover cover;
+  for (auto& p : paths) {
+    if (!p.alive) continue;
+    cover.paths.push_back(
+        CoverPath{std::move(p.vertices), std::move(p.output_space)});
+  }
+  return cover;
+}
+
+bool MlpcSolver::is_stitch_free(const RuleGraph& g, const Cover& cover) const {
+  // Rebuild the work structures from the finished cover and probe each tail.
+  std::vector<WorkPath> paths;
+  std::vector<int> head_path_of(static_cast<std::size_t>(g.vertex_count()),
+                                -1);
+  for (const auto& cp : cover.paths) {
+    WorkPath p;
+    p.vertices = cp.vertices;
+    p.output_space = cp.output_space;
+    head_path_of[static_cast<std::size_t>(cp.vertices.front())] =
+        static_cast<int>(paths.size());
+    paths.push_back(std::move(p));
+  }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    StitchSearch search(g, paths, head_path_of, config_.search_budget,
+                        nullptr);
+    if (search.find(static_cast<int>(i)).has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace sdnprobe::core

@@ -1,0 +1,85 @@
+#include "core/probe_engine.h"
+
+#include "sat/header_encoder.h"
+#include "util/logging.h"
+
+namespace sdnprobe::core {
+
+std::optional<hsa::TernaryString> ProbeEngine::pick_unique_header(
+    const hsa::HeaderSpace& input_space, util::Rng& rng,
+    const TrafficProfile* profile) {
+  if (input_space.is_empty()) return std::nullopt;
+  // Fast path: sample (traffic-biased when a profile is given) and reject on
+  // collision. Collisions are rare because header spaces are huge relative
+  // to probe counts.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    std::optional<hsa::TernaryString> h =
+        profile ? profile->sample(input_space, rng)
+                : input_space.sample(rng);
+    if (!h.has_value()) break;
+    if (!used_.count(*h)) {
+      ++stats_.headers_by_sampling;
+      used_.insert(*h);
+      return h;
+    }
+  }
+  // Slow path: the SAT solver finds a header in the space differing from
+  // every previously issued header (the paper's MiniSat use, §VI).
+  std::vector<hsa::TernaryString> forbidden(used_.begin(), used_.end());
+  auto h = sat::solve_header_in(input_space, forbidden);
+  if (h.has_value()) {
+    ++stats_.headers_by_sat;
+    used_.insert(*h);
+    return h;
+  }
+  ++stats_.sat_failures;
+  return std::nullopt;
+}
+
+std::optional<Probe> ProbeEngine::make_probe(const std::vector<VertexId>& path,
+                                             util::Rng& rng,
+                                             const TrafficProfile* profile) {
+  if (path.empty()) return std::nullopt;
+  const hsa::HeaderSpace input = graph_->path_input_space(path);
+  auto header = pick_unique_header(input, rng, profile);
+  if (!header.has_value()) return std::nullopt;
+
+  Probe p;
+  p.probe_id = next_probe_id_++;
+  p.path = path;
+  p.header = *header;
+  const auto& rules = graph_->rules();
+  p.entries.reserve(path.size());
+  for (const VertexId v : path) p.entries.push_back(graph_->entry_of(v));
+  p.inject_switch = rules.entry(p.entries.front()).switch_id;
+  p.terminal_entry = p.entries.back();
+  // Expected header at the terminal's test table: transformed by every set
+  // field strictly before the terminal entry.
+  hsa::TernaryString h = *header;
+  for (std::size_t i = 0; i + 1 < p.entries.size(); ++i) {
+    h = h.transform(rules.entry(p.entries[i]).set_field);
+  }
+  p.expected_return = h;
+  return p;
+}
+
+std::vector<Probe> ProbeEngine::make_probes(const Cover& cover,
+                                            util::Rng& rng,
+                                            const TrafficProfile* profile) {
+  std::vector<Probe> probes;
+  probes.reserve(cover.paths.size());
+  for (const auto& cp : cover.paths) {
+    auto p = make_probe(cp.vertices, rng, profile);
+    if (p.has_value()) {
+      probes.push_back(std::move(*p));
+    } else {
+      LOG_WARN << "probe synthesis failed for a cover path of length "
+               << cp.vertices.size();
+    }
+  }
+  return probes;
+}
+
+void ProbeEngine::reset_uniqueness() { used_.clear(); }
+
+}  // namespace sdnprobe::core

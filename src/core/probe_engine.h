@@ -1,0 +1,78 @@
+// Probe construction (§V-B step 3 and §VI header uniqueness): turns cover
+// paths into concrete test packets with headers that (a) traverse the whole
+// tested path, (b) are unique across probes, via rejection sampling backed
+// by the SAT solver when sampling stalls.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/mlpc.h"
+#include "core/rule_graph.h"
+#include "core/traffic_profile.h"
+#include "util/rng.h"
+
+namespace sdnprobe::core {
+
+struct Probe {
+  std::uint64_t probe_id = 0;
+  // The tested path as rule-graph vertices, in traversal order.
+  std::vector<VertexId> path;
+  // Same path as entry ids (convenience for localization bookkeeping).
+  std::vector<flow::EntryId> entries;
+  // Concrete header injected at the first switch.
+  hsa::TernaryString header;
+  // The header the terminal test entry must exact-match: the injected header
+  // transformed by every set field *before* the terminal entry.
+  hsa::TernaryString expected_return;
+  flow::SwitchId inject_switch = -1;
+  flow::EntryId terminal_entry = -1;
+};
+
+struct ProbeStats {
+  std::uint64_t headers_by_sampling = 0;
+  std::uint64_t headers_by_sat = 0;
+  std::uint64_t sat_failures = 0;  // paths with no unique header available
+};
+
+class ProbeEngine {
+ public:
+  explicit ProbeEngine(const RuleGraph& graph) : graph_(&graph) {}
+
+  // Builds probes for every path of `cover`. Paths whose header synthesis
+  // fails (exhausted header space) are skipped; see stats().sat_failures.
+  std::vector<Probe> make_probes(const Cover& cover, util::Rng& rng,
+                                 const TrafficProfile* profile = nullptr);
+
+  // Builds a probe for one legal path (used by Algorithm 2's path slicing).
+  // Returns nullopt if the path is illegal or no unique header exists.
+  std::optional<Probe> make_probe(const std::vector<VertexId>& path,
+                                  util::Rng& rng,
+                                  const TrafficProfile* profile = nullptr);
+
+  // Forget previously issued headers (e.g. between detection rounds when
+  // test points were torn down). Probe-header uniqueness (§VI) only matters
+  // among *concurrently installed* test points, so callers reset per round
+  // and re-register the headers still in flight via note_used().
+  void reset_uniqueness();
+
+  // Registers an externally retained header (a probe reused from a previous
+  // round) so new headers keep differing from it.
+  void note_used(const hsa::TernaryString& header) { used_.insert(header); }
+
+  const ProbeStats& stats() const { return stats_; }
+
+ private:
+  std::optional<hsa::TernaryString> pick_unique_header(
+      const hsa::HeaderSpace& input_space, util::Rng& rng,
+      const TrafficProfile* profile);
+
+  const RuleGraph* graph_;
+  std::uint64_t next_probe_id_ = 1;
+  std::unordered_set<hsa::TernaryString, hsa::TernaryStringHash> used_;
+  ProbeStats stats_;
+};
+
+}  // namespace sdnprobe::core

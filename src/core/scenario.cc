@@ -1,0 +1,261 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sdnprobe::core {
+
+std::vector<flow::EntryId> choose_faulty_entries(const RuleGraph& graph,
+                                                 std::size_t count,
+                                                 util::Rng& rng) {
+  std::vector<flow::EntryId> pool;
+  pool.reserve(static_cast<std::size_t>(graph.vertex_count()));
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    if (graph.is_active(v)) pool.push_back(graph.entry_of(v));
+  }
+  rng.shuffle(pool);
+  pool.resize(std::min(count, pool.size()));
+  return pool;
+}
+
+std::vector<flow::EntryId> choose_entries_on_switch_fraction(
+    const RuleGraph& graph, double switch_fraction,
+    std::size_t entries_per_switch, util::Rng& rng) {
+  const int n = graph.rules().switch_count();
+  std::vector<flow::SwitchId> switches(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) switches[static_cast<std::size_t>(s)] = s;
+  rng.shuffle(switches);
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(switch_fraction * n + 0.5));
+  switches.resize(std::min(keep, switches.size()));
+  std::vector<std::uint8_t> chosen(static_cast<std::size_t>(n), 0);
+  for (const flow::SwitchId s : switches) {
+    chosen[static_cast<std::size_t>(s)] = 1;
+  }
+
+  // Bucket testable entries per chosen switch, then sample per switch.
+  std::vector<std::vector<flow::EntryId>> per_switch(
+      static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    const flow::EntryId id = graph.entry_of(v);
+    const flow::SwitchId s = graph.rules().entry(id).switch_id;
+    if (chosen[static_cast<std::size_t>(s)]) {
+      per_switch[static_cast<std::size_t>(s)].push_back(id);
+    }
+  }
+  std::vector<flow::EntryId> out;
+  for (const flow::SwitchId s : switches) {
+    auto& pool = per_switch[static_cast<std::size_t>(s)];
+    rng.shuffle(pool);
+    const std::size_t take = std::min(entries_per_switch, pool.size());
+    out.insert(out.end(), pool.begin(),
+               pool.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+TrafficModel make_traffic_model(const RuleGraph& graph,
+                                std::size_t flow_count, util::Rng& rng) {
+  const flow::RuleSet& rules = graph.rules();
+  const int width = rules.header_width();
+  // Host-like bits: wildcarded by (almost) every match field.
+  std::vector<std::size_t> wild_count(static_cast<std::size_t>(width), 0);
+  std::size_t sampled = 0;
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    const auto& m = rules.entry(graph.entry_of(v)).match;
+    for (int k = 0; k < width; ++k) {
+      if (m.get(k) == hsa::Trit::kWild) ++wild_count[static_cast<std::size_t>(k)];
+    }
+    ++sampled;
+  }
+  std::vector<int> host_bits;
+  for (int k = 0; k < width; ++k) {
+    if (sampled == 0 ||
+        wild_count[static_cast<std::size_t>(k)] * 10 >= sampled * 9) {
+      host_bits.push_back(k);
+    }
+  }
+  TrafficModel model;
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    hsa::TernaryString cube = hsa::TernaryString::wildcard(width);
+    // Pin ~3/4 of the host-like bits: a flow aggregate (think source subnet
+    // + port range), not a single 5-tuple, so each popular cube still spans
+    // many concrete headers.
+    for (const int k : host_bits) {
+      if (!rng.next_bool(0.75)) continue;
+      cube.set(k, rng.next_bool(0.5) ? hsa::Trit::kOne : hsa::Trit::kZero);
+    }
+    // Zipf-ish weights: earlier flows are heavier.
+    model.profile.add_flow(cube, 1.0 / static_cast<double>(i + 1));
+    model.popular_cubes.push_back(std::move(cube));
+  }
+  return model;
+}
+
+dataplane::FaultSpec make_fault(const RuleGraph& graph, flow::EntryId entry,
+                                const FaultMix& mix, util::Rng& rng,
+                                const TrafficModel* traffic) {
+  const flow::RuleSet& rules = graph.rules();
+  const flow::FlowEntry& e = rules.entry(entry);
+  dataplane::FaultSpec spec;
+
+  // Pick a basic kind among the enabled ones.
+  std::vector<dataplane::FaultKind> kinds;
+  if (mix.drop) kinds.push_back(dataplane::FaultKind::kDrop);
+  if (mix.misdirect) kinds.push_back(dataplane::FaultKind::kMisdirect);
+  if (mix.modify) kinds.push_back(dataplane::FaultKind::kModify);
+  if (kinds.empty()) kinds.push_back(dataplane::FaultKind::kDrop);
+  spec.kind = kinds[rng.pick_index(kinds.size())];
+
+  const int width = rules.header_width();
+  if (spec.kind == dataplane::FaultKind::kMisdirect) {
+    // A wrong port: any port of the switch other than the intended one
+    // (possibly the host port, which simply leaks the packet).
+    const int degree = rules.topology().degree(e.switch_id);
+    const int n_ports = degree + 1;  // + host port
+    flow::PortId wrong = e.action.out_port;
+    for (int attempt = 0; attempt < 16 && wrong == e.action.out_port;
+         ++attempt) {
+      wrong = static_cast<flow::PortId>(rng.next_below(
+          static_cast<std::uint64_t>(n_ports)));
+    }
+    spec.misdirect_port = wrong;
+  } else if (spec.kind == dataplane::FaultKind::kModify) {
+    // Corrupt a handful of bits the match wildcards, so the packet still
+    // follows the path but returns altered / fails its exact-match capture.
+    hsa::TernaryString set = hsa::TernaryString::wildcard(width);
+    int changed = 0;
+    for (int k = width - 1; k >= 0 && changed < 4; --k) {
+      if (e.match.get(k) == hsa::Trit::kWild) {
+        set.set(k, rng.next_bool(0.5) ? hsa::Trit::kOne : hsa::Trit::kZero);
+        ++changed;
+      }
+    }
+    if (changed == 0) {
+      // Fully exact match: corrupt an arbitrary bit (packet will misroute).
+      set.set(static_cast<int>(rng.next_below(
+                  static_cast<std::uint64_t>(width))),
+              hsa::Trit::kOne);
+    }
+    spec.modify_set = set;
+  }
+
+  if (rng.next_bool(mix.intermittent_fraction)) {
+    spec.intermittent = true;
+    spec.period_s = 0.5 + rng.next_double();
+    spec.duty_cycle = 0.2 + 0.4 * rng.next_double();
+    spec.phase_s = rng.next_double();
+  }
+  if (rng.next_bool(mix.targeting_fraction)) {
+    hsa::TernaryString target = e.match;
+    if (traffic && !traffic->popular_cubes.empty()) {
+      // Aim at a popular flow: pin the match's wildcard bits to the cube's
+      // values (a fault that hits traffic someone actually sends).
+      const auto& cube =
+          traffic->popular_cubes[rng.pick_index(traffic->popular_cubes.size())];
+      if (const auto t = e.match.intersect(cube)) target = *t;
+    } else {
+      // No traffic model: pin up to 8 wildcard bits arbitrarily.
+      int pinned = 0;
+      for (int k = 0; k < width && pinned < 8; ++k) {
+        if (target.get(k) == hsa::Trit::kWild) {
+          target.set(k,
+                     rng.next_bool(0.5) ? hsa::Trit::kOne : hsa::Trit::kZero);
+          ++pinned;
+        }
+      }
+    }
+    if (!(target == e.match)) spec.target = target;
+  }
+  return spec;
+}
+
+bool make_detour_fault(const RuleGraph& graph, flow::EntryId entry,
+                       int min_skip, util::Rng& rng,
+                       dataplane::FaultSpec* out) {
+  const VertexId v = graph.vertex_for(entry);
+  if (v < 0) return false;
+  // Random legal walk downstream; the partner is a rule >= min_skip hops
+  // ahead on the walk (so at least min_skip-1 switches get skipped).
+  std::vector<VertexId> walk{v};
+  hsa::HeaderSpace hs = graph.propagate(
+      hsa::HeaderSpace::full(graph.rules().header_width()), v);
+  std::vector<VertexId> downstream;
+  for (int hop = 0; hop < 16; ++hop) {
+    std::vector<VertexId> succ = graph.successors(walk.back());
+    rng.shuffle(succ);
+    bool advanced = false;
+    for (const VertexId w : succ) {
+      hsa::HeaderSpace next = graph.propagate(hs, w);
+      if (next.is_empty()) continue;
+      walk.push_back(w);
+      downstream.push_back(w);
+      hs = std::move(next);
+      advanced = true;
+      break;
+    }
+    if (!advanced) break;
+  }
+  if (static_cast<int>(downstream.size()) < min_skip) return false;
+  // Pick a partner at hop >= min_skip.
+  const std::size_t lo = static_cast<std::size_t>(min_skip) - 1;
+  const std::size_t pick =
+      lo + rng.pick_index(downstream.size() - lo);
+  const VertexId partner_vertex = downstream[pick];
+  dataplane::FaultSpec spec;
+  spec.kind = dataplane::FaultKind::kDetour;
+  spec.detour_partner =
+      graph.rules().entry(graph.entry_of(partner_vertex)).switch_id;
+  spec.detour_extra_latency_s = 1e-3 * static_cast<double>(pick + 1);
+  *out = spec;
+  return true;
+}
+
+std::vector<flow::EntryId> plan_basic_faults(
+    const RuleGraph& graph, std::size_t count, const FaultMix& mix,
+    util::Rng& rng, dataplane::FaultInjector* inj,
+    const TrafficModel* traffic) {
+  const auto entries = choose_faulty_entries(graph, count, rng);
+  for (const flow::EntryId e : entries) {
+    inj->add_fault(e, make_fault(graph, e, mix, rng, traffic));
+  }
+  return entries;
+}
+
+std::vector<flow::EntryId> plan_detour_faults(const RuleGraph& graph,
+                                              std::size_t count, int min_skip,
+                                              util::Rng& rng,
+                                              dataplane::FaultInjector* inj) {
+  // Oversample candidates; keep the ones with a viable downstream partner.
+  const auto candidates = choose_faulty_entries(graph, count * 4, rng);
+  std::vector<flow::EntryId> planted;
+  for (const flow::EntryId e : candidates) {
+    if (planted.size() >= count) break;
+    dataplane::FaultSpec spec;
+    if (make_detour_fault(graph, e, min_skip, rng, &spec)) {
+      inj->add_fault(e, spec);
+      planted.push_back(e);
+    }
+  }
+  return planted;
+}
+
+util::ConfusionCounts score_detection(
+    const std::vector<flow::SwitchId>& flagged,
+    const std::vector<flow::SwitchId>& ground_truth, int switch_count) {
+  const std::set<flow::SwitchId> flag(flagged.begin(), flagged.end());
+  const std::set<flow::SwitchId> truth(ground_truth.begin(),
+                                       ground_truth.end());
+  util::ConfusionCounts c;
+  for (flow::SwitchId s = 0; s < switch_count; ++s) {
+    const bool f = flag.count(s) > 0;
+    const bool t = truth.count(s) > 0;
+    if (f && t) ++c.true_positive;
+    if (f && !t) ++c.false_positive;
+    if (!f && t) ++c.false_negative;
+    if (!f && !t) ++c.true_negative;
+  }
+  return c;
+}
+
+}  // namespace sdnprobe::core

@@ -1,0 +1,95 @@
+// Experiment harness helpers shared by tests, benches and examples: fault
+// plan construction per the paper's failure model (§III-B) and accuracy
+// scoring of detection reports against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rule_graph.h"
+#include "core/traffic_profile.h"
+#include "dataplane/fault.h"
+#include "flow/ruleset.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sdnprobe::core {
+
+// Which fault behaviors a plan may draw from.
+struct FaultMix {
+  bool drop = true;
+  bool misdirect = true;
+  bool modify = true;
+  // Non-persistent modifiers (applied on top of a basic kind):
+  double intermittent_fraction = 0.0;  // fraction of faults made intermittent
+  double targeting_fraction = 0.0;     // fraction made targeting
+};
+
+// A synthetic "what real traffic looks like" model: a weighted set of
+// popular header cubes (elephant flows). Targeting faults are aimed at
+// popular cubes — a fault nobody's traffic hits is harmless — which is why
+// §V-C samples probe headers from the observed traffic distribution.
+struct TrafficModel {
+  TrafficProfile profile;
+  std::vector<hsa::TernaryString> popular_cubes;
+};
+
+// Builds a traffic model with `flow_count` popular cubes. Each cube pins the
+// "host-like" header bits (bits wildcarded by nearly all match fields) to a
+// random pattern and leaves routing bits wild, so every flow's header space
+// intersects it.
+TrafficModel make_traffic_model(const RuleGraph& graph,
+                                std::size_t flow_count, util::Rng& rng);
+
+// Picks `count` distinct testable entries (vertices of `graph`) uniformly.
+std::vector<flow::EntryId> choose_faulty_entries(const RuleGraph& graph,
+                                                 std::size_t count,
+                                                 util::Rng& rng);
+
+// Picks a random subset of switches (`switch_fraction` of the network) and
+// returns up to `entries_per_switch` testable entries on each. This is how
+// the accuracy sweeps (Fig. 9) make "X% of switches faulty" while leaving
+// the rest clean, so false-positive rates stay meaningful.
+std::vector<flow::EntryId> choose_entries_on_switch_fraction(
+    const RuleGraph& graph, double switch_fraction,
+    std::size_t entries_per_switch, util::Rng& rng);
+
+// Builds a basic (possibly intermittent/targeting) fault spec for an entry.
+// Misdirect picks a random wrong port; modify rewrites bits outside the
+// entry's match so the packet still routes (a realistic stealthy fault).
+// Targeting faults aim at a popular cube of `traffic` when provided (the
+// realistic case); otherwise they pin random wildcard bits.
+dataplane::FaultSpec make_fault(const RuleGraph& graph, flow::EntryId entry,
+                                const FaultMix& mix, util::Rng& rng,
+                                const TrafficModel* traffic = nullptr);
+
+// Builds a colluding-detour fault on `entry`: the partner is the switch of a
+// rule >= `min_skip` hops downstream on a legal path from the entry
+// (§III-B's path-detouring collusion). Returns false when the entry has no
+// such downstream rule (the caller should pick another entry).
+bool make_detour_fault(const RuleGraph& graph, flow::EntryId entry,
+                       int min_skip, util::Rng& rng,
+                       dataplane::FaultSpec* out);
+
+// Installs `count` faults of the given mix into the injector; returns the
+// chosen entries. Detour plans fall back to drop when no partner exists.
+std::vector<flow::EntryId> plan_basic_faults(
+    const RuleGraph& graph, std::size_t count, const FaultMix& mix,
+    util::Rng& rng, dataplane::FaultInjector* inj,
+    const TrafficModel* traffic = nullptr);
+
+// Installs `count` colluding-detour faults; returns the entries that
+// actually received a detour (entries without a viable partner are skipped,
+// so the result may be smaller than `count`).
+std::vector<flow::EntryId> plan_detour_faults(const RuleGraph& graph,
+                                              std::size_t count, int min_skip,
+                                              util::Rng& rng,
+                                              dataplane::FaultInjector* inj);
+
+// Scores flagged switches against ground-truth faulty switches over a
+// universe of `switch_count` switches.
+util::ConfusionCounts score_detection(
+    const std::vector<flow::SwitchId>& flagged,
+    const std::vector<flow::SwitchId>& ground_truth, int switch_count);
+
+}  // namespace sdnprobe::core

@@ -1,0 +1,51 @@
+#include "core/traffic_profile.h"
+
+namespace sdnprobe::core {
+
+void TrafficProfile::add_flow(const hsa::TernaryString& cube, double weight) {
+  if (weight <= 0.0) return;
+  flows_.push_back(Flow{cube, weight});
+  total_weight_ += weight;
+}
+
+std::optional<hsa::TernaryString> TrafficProfile::sample(
+    const hsa::HeaderSpace& space, util::Rng& rng) const {
+  if (space.is_empty()) return std::nullopt;
+  if (!flows_.empty()) {
+    // A few weighted attempts; each picks a flow cube and tries to sample
+    // from its overlap with the requested space.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      double pick = rng.next_double() * total_weight_;
+      const Flow* chosen = &flows_.back();
+      for (const auto& f : flows_) {
+        pick -= f.weight;
+        if (pick <= 0.0) {
+          chosen = &f;
+          break;
+        }
+      }
+      const hsa::HeaderSpace overlap = space.intersect(chosen->cube);
+      if (!overlap.is_empty()) return overlap.sample(rng);
+    }
+  }
+  return space.sample(rng);
+}
+
+std::optional<hsa::TernaryString> TrafficProfile::sample_flow_cube(
+    util::Rng& rng) const {
+  if (flows_.empty()) return std::nullopt;
+  double pick = rng.next_double() * total_weight_;
+  for (const auto& f : flows_) {
+    pick -= f.weight;
+    if (pick <= 0.0) return f.cube;
+  }
+  return flows_.back().cube;
+}
+
+TrafficProfile TrafficProfile::period_snapshot(util::Rng& rng) const {
+  TrafficProfile snap;
+  if (const auto cube = sample_flow_cube(rng)) snap.add_flow(*cube, 1.0);
+  return snap;
+}
+
+}  // namespace sdnprobe::core

@@ -1,0 +1,51 @@
+// Synthetic traffic-distribution profile, standing in for the sFlow-based
+// header sampling of §V-C ("Test packet header randomization"): probe
+// headers can be drawn "either uniformly at random or based on the past
+// traffic distribution". A profile is a weighted set of observed header
+// cubes; sampling biases probe headers toward cubes real traffic uses, which
+// raises the chance of hitting a targeting fault's victim headers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "hsa/header_space.h"
+#include "util/rng.h"
+
+namespace sdnprobe::core {
+
+class TrafficProfile {
+ public:
+  // Records that traffic matching `cube` was observed with relative weight
+  // `weight` (> 0).
+  void add_flow(const hsa::TernaryString& cube, double weight);
+
+  bool empty() const { return flows_.empty(); }
+  std::size_t flow_count() const { return flows_.size(); }
+
+  // Samples a concrete header from `space`, preferring the overlap with a
+  // weight-sampled observed cube. Falls back to uniform sampling over
+  // `space` when no observed cube intersects it. Returns nullopt only when
+  // `space` itself is empty.
+  std::optional<hsa::TernaryString> sample(const hsa::HeaderSpace& space,
+                                           util::Rng& rng) const;
+
+  // Draws one observed cube, weighted. Used to model the per-period traffic
+  // snapshot h^t(ℓ) of §V-C: within a detection period, probes sample from
+  // the flows dominating that period. Returns nullopt when empty.
+  std::optional<hsa::TernaryString> sample_flow_cube(util::Rng& rng) const;
+
+  // A profile narrowed to a single period-dominant flow (plus this profile's
+  // weights as fallback behavior is preserved by the caller keeping both).
+  TrafficProfile period_snapshot(util::Rng& rng) const;
+
+ private:
+  struct Flow {
+    hsa::TernaryString cube;
+    double weight;
+  };
+  std::vector<Flow> flows_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace sdnprobe::core

@@ -1,0 +1,36 @@
+#include "dataplane/fault.h"
+
+#include <cmath>
+
+namespace sdnprobe::dataplane {
+
+bool FaultSpec::is_active(sim::SimTime now,
+                          const hsa::TernaryString& header) const {
+  if (intermittent) {
+    const double t = std::fmod(now - phase_s, period_s);
+    const double in_window = t < 0 ? t + period_s : t;
+    if (in_window >= duty_cycle * period_s) return false;
+  }
+  if (target.width() > 0 && !target.covers(header)) return false;
+  return true;
+}
+
+void FaultInjector::add_fault(flow::EntryId entry, FaultSpec spec) {
+  faults_[entry] = std::move(spec);
+}
+
+void FaultInjector::clear() { faults_.clear(); }
+
+const FaultSpec* FaultInjector::fault_for(flow::EntryId entry) const {
+  const auto it = faults_.find(entry);
+  return it == faults_.end() ? nullptr : &it->second;
+}
+
+std::vector<flow::EntryId> FaultInjector::faulty_entries() const {
+  std::vector<flow::EntryId> out;
+  out.reserve(faults_.size());
+  for (const auto& [id, spec] : faults_) out.push_back(id);
+  return out;
+}
+
+}  // namespace sdnprobe::dataplane

@@ -1,0 +1,205 @@
+#include "dataplane/network.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace sdnprobe::dataplane {
+
+Network::Network(const flow::RuleSet& rules, sim::EventLoop& loop,
+                 NetworkConfig config)
+    : rules_(&rules),
+      loop_(&loop),
+      config_(config),
+      tables_(static_cast<std::size_t>(rules.switch_count())) {
+  for (flow::SwitchId s = 0; s < rules.switch_count(); ++s) {
+    const int n_tables = rules.table_count(s);
+    auto& sw_tables = tables_[static_cast<std::size_t>(s)];
+    sw_tables.resize(static_cast<std::size_t>(n_tables));
+    for (flow::TableId t = 0; t < n_tables; ++t) {
+      for (const auto& e : rules.table(s, t).entries()) {
+        sw_tables[static_cast<std::size_t>(t)].insert(e);
+      }
+    }
+  }
+}
+
+void Network::install_entry(const flow::FlowEntry& e) {
+  assert(e.switch_id >= 0 &&
+         e.switch_id < static_cast<int>(tables_.size()));
+  auto& sw_tables = tables_[static_cast<std::size_t>(e.switch_id)];
+  if (static_cast<std::size_t>(e.table_id) >= sw_tables.size()) {
+    sw_tables.resize(static_cast<std::size_t>(e.table_id) + 1);
+  }
+  sw_tables[static_cast<std::size_t>(e.table_id)].insert(e);
+}
+
+void Network::remove_entry(flow::SwitchId sw, flow::TableId table,
+                           flow::EntryId id) {
+  auto& sw_tables = tables_[static_cast<std::size_t>(sw)];
+  if (static_cast<std::size_t>(table) >= sw_tables.size()) return;
+  sw_tables[static_cast<std::size_t>(table)].erase(id);
+}
+
+void Network::replace_action(flow::SwitchId sw, flow::TableId table,
+                             flow::EntryId id, const flow::Action& action) {
+  auto& sw_tables = tables_[static_cast<std::size_t>(sw)];
+  if (static_cast<std::size_t>(table) >= sw_tables.size()) return;
+  auto& t = sw_tables[static_cast<std::size_t>(table)];
+  // FlowTable stores entries by value; re-insert with the new action to
+  // preserve ordering invariants.
+  for (const auto& e : t.entries()) {
+    if (e.id == id) {
+      flow::FlowEntry updated = e;
+      updated.action = action;
+      t.erase(id);
+      t.insert(updated);
+      return;
+    }
+  }
+}
+
+void Network::update_entry(flow::SwitchId sw, flow::TableId table,
+                           flow::EntryId id,
+                           const hsa::TernaryString& set_field,
+                           const flow::Action& action) {
+  auto& sw_tables = tables_[static_cast<std::size_t>(sw)];
+  if (static_cast<std::size_t>(table) >= sw_tables.size()) return;
+  auto& t = sw_tables[static_cast<std::size_t>(table)];
+  for (const auto& e : t.entries()) {
+    if (e.id == id) {
+      flow::FlowEntry updated = e;
+      updated.set_field = set_field;
+      updated.action = action;
+      t.erase(id);
+      t.insert(updated);
+      return;
+    }
+  }
+}
+
+void Network::packet_out(flow::SwitchId sw, Packet p) {
+  ++counters_.packets_injected;
+  loop_->schedule_in(config_.control_latency_s, [this, sw, p = std::move(p)] {
+    arrive(sw, p);
+  });
+}
+
+void Network::arrive(flow::SwitchId sw, Packet p) {
+  if (static_cast<int>(p.trace.size()) >= config_.max_hops) {
+    // TTL stand-in: misdirection faults can bounce packets between two
+    // switches; the hop limit disposes of them like TTL expiry would.
+    ++counters_.hop_limit_drops;
+    LOG_DEBUG << "packet exceeded hop limit at switch " << sw;
+    return;
+  }
+  p.trace.push_back(sw);
+  loop_->schedule_in(config_.switch_proc_delay_s,
+                     [this, sw, p = std::move(p)] { process(sw, p, 0); });
+}
+
+void Network::process(flow::SwitchId sw, Packet p, flow::TableId table) {
+  const auto& sw_tables = tables_[static_cast<std::size_t>(sw)];
+  if (static_cast<std::size_t>(table) >= sw_tables.size()) {
+    ++counters_.table_misses;
+    ++counters_.packets_dropped;
+    return;
+  }
+  const flow::FlowEntry* e =
+      sw_tables[static_cast<std::size_t>(table)].lookup(p.header);
+  if (!e) {
+    ++counters_.table_misses;
+    ++counters_.packets_dropped;
+    return;
+  }
+  p.entry_trace.push_back(e->id);
+
+  // Fault hook: a faulty entry executes incorrectly (§III-B).
+  if (const FaultSpec* f = faults_.fault_for(e->id);
+      f && f->is_active(loop_->now(), p.header)) {
+    ++counters_.faults_applied;
+    p.tampered = true;
+    switch (f->kind) {
+      case FaultKind::kDrop:
+        ++counters_.packets_dropped;
+        return;
+      case FaultKind::kMisdirect:
+        p.header = p.header.transform(e->set_field);
+        emit(sw, f->misdirect_port, std::move(p));
+        return;
+      case FaultKind::kModify:
+        // Corrupt the header, then continue with the entry's normal action.
+        p.header = p.header.transform(f->modify_set);
+        break;
+      case FaultKind::kDetour: {
+        // Tunnel to the colluding partner, skipping intermediate switches on
+        // the intended path. The partner re-processes the packet normally.
+        const flow::SwitchId partner = f->detour_partner;
+        p.header = p.header.transform(e->set_field);
+        loop_->schedule_in(
+            f->detour_extra_latency_s + config_.switch_proc_delay_s,
+            [this, partner, p = std::move(p)] { arrive(partner, p); });
+        return;
+      }
+    }
+  }
+
+  // Normal OpenFlow 1.3 semantics.
+  p.header = p.header.transform(e->set_field);
+  switch (e->action.type) {
+    case flow::ActionType::kOutput:
+      emit(sw, e->action.out_port, std::move(p));
+      return;
+    case flow::ActionType::kDrop:
+      ++counters_.packets_dropped;
+      return;
+    case flow::ActionType::kGotoTable:
+      process(sw, std::move(p), e->action.next_table);
+      return;
+    case flow::ActionType::kToController:
+      ++counters_.packet_ins;
+      if (packet_in_handler_) {
+        loop_->schedule_in(config_.control_latency_s,
+                           [this, sw, p = std::move(p)] {
+                             packet_in_handler_(sw, p, loop_->now());
+                           });
+      }
+      return;
+  }
+}
+
+void Network::emit(flow::SwitchId sw, flow::PortId port, Packet p) {
+  const auto peer = rules_->ports().peer_of(sw, port);
+  if (peer.has_value()) {
+    ++counters_.packets_forwarded;
+    const double latency =
+        rules_->topology().edge_latency(sw, *peer).value_or(1e-3);
+    loop_->schedule_in(latency, [this, peer = *peer, p = std::move(p)] {
+      arrive(peer, p);
+    });
+    return;
+  }
+  // Host / edge port: the packet leaves the network.
+  ++counters_.host_deliveries;
+  if (host_delivery_handler_) host_delivery_handler_(sw, p, loop_->now());
+}
+
+std::vector<flow::SwitchId> Network::faulty_switches() const {
+  std::vector<std::uint8_t> seen(tables_.size(), 0);
+  for (const flow::EntryId id : faults_.faulty_entries()) {
+    if (id >= 0 && static_cast<std::size_t>(id) < rules_->entry_count()) {
+      seen[static_cast<std::size_t>(rules_->entry(id).switch_id)] = 1;
+    }
+  }
+  std::vector<flow::SwitchId> out;
+  for (std::size_t s = 0; s < seen.size(); ++s) {
+    if (seen[s]) out.push_back(static_cast<flow::SwitchId>(s));
+  }
+  return out;
+}
+
+int Network::table_count(flow::SwitchId sw) const {
+  return static_cast<int>(tables_[static_cast<std::size_t>(sw)].size());
+}
+
+}  // namespace sdnprobe::dataplane

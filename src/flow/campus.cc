@@ -1,0 +1,115 @@
+#include "flow/campus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sdnprobe::flow {
+namespace {
+
+constexpr int kChainIdBits = 12;
+
+// Depth of each chain so that depths sum exactly to `total`, the first chain
+// is `max_chain` deep, and the rest follow a small geometric-ish spread.
+std::vector<int> plan_chain_depths(int total, int max_chain, util::Rng& rng) {
+  std::vector<int> depths;
+  int remaining = total;
+  if (max_chain <= remaining) {
+    depths.push_back(max_chain);
+    remaining -= max_chain;
+  }
+  while (remaining > 0) {
+    int d = 1 + static_cast<int>(rng.next_below(10));
+    d = std::min(d, remaining);
+    depths.push_back(d);
+    remaining -= d;
+  }
+  return depths;
+}
+
+}  // namespace
+
+RuleSet make_campus_ruleset(const CampusConfig& config) {
+  assert(config.header_width >= kChainIdBits + config.max_overlap_chain);
+  topo::Graph g(2);
+  g.add_edge(0, 1, 1e-3);
+  RuleSet rs(g, config.header_width);
+  util::Rng rng(config.seed);
+
+  const PortId sw0_to_sw1 = *rs.ports().port_to(0, 1);
+  const PortId sw1_host = rs.ports().host_port(1);
+
+  // Both tables share chain prefixes so that cross-switch rule-graph edges
+  // exist (switch 0's chain-k rules feed switch 1's chain-k rules), which is
+  // what lets MLPC stitch multi-hop probes and land near the paper's ~600
+  // probes for ~1129 entries.
+  const int table_entries[2] = {config.entries_table0, config.entries_table1};
+  const PortId out_ports[2] = {sw0_to_sw1, sw1_host};
+
+  // Shared per-chain nesting pattern: chain c uses pattern_bits[c][k].
+  const int max_chains =
+      std::max(table_entries[0], table_entries[1]);  // upper bound
+  std::vector<std::vector<bool>> patterns(
+      static_cast<std::size_t>(max_chains));
+  for (auto& pat : patterns) {
+    pat.resize(static_cast<std::size_t>(config.max_overlap_chain));
+    for (std::size_t k = 0; k < pat.size(); ++k) {
+      pat[k] = rng.next_bool(0.5);
+    }
+  }
+
+  // Table 1 reuses table 0's chain plan and appends fresh chains for its
+  // surplus entries, so each switch-0 rule has exactly one same-depth partner
+  // on switch 1 (mirroring how both backbone tables in a campus network route
+  // the same prefixes).
+  util::Rng chain_rng(config.seed + 17);
+  std::vector<int> depths_by_table[2];
+  const int common = std::min(table_entries[0], table_entries[1]);
+  const std::vector<int> shared =
+      plan_chain_depths(common, config.max_overlap_chain, chain_rng);
+  for (int sw = 0; sw < 2; ++sw) {
+    depths_by_table[sw] = shared;
+    const int surplus = table_entries[sw] - common;
+    if (surplus > 0) {
+      const std::vector<int> extra =
+          plan_chain_depths(surplus, /*max_chain=*/8, chain_rng);
+      depths_by_table[sw].insert(depths_by_table[sw].end(), extra.begin(),
+                                 extra.end());
+    }
+  }
+
+  for (int sw = 0; sw < 2; ++sw) {
+    const std::vector<int>& depths = depths_by_table[sw];
+    assert(depths.size() <= static_cast<std::size_t>(1 << kChainIdBits));
+    for (std::size_t c = 0; c < depths.size(); ++c) {
+      // Chain id in the top bits.
+      hsa::TernaryString base =
+          hsa::TernaryString::wildcard(config.header_width);
+      for (int k = 0; k < kChainIdBits; ++k) {
+        const bool one = (c >> (kChainIdBits - 1 - k)) & 1;
+        base.set(k, one ? hsa::Trit::kOne : hsa::Trit::kZero);
+      }
+      const auto& pat = patterns[c % patterns.size()];
+      for (int depth = 0; depth < depths[c]; ++depth) {
+        FlowEntry e;
+        e.switch_id = sw;
+        e.table_id = 0;
+        e.priority = 10 + depth;  // deeper prefix = higher priority
+        hsa::TernaryString match = base;
+        for (int k = 0; k < depth; ++k) {
+          match.set(kChainIdBits + k, pat[static_cast<std::size_t>(k)]
+                                          ? hsa::Trit::kOne
+                                          : hsa::Trit::kZero);
+        }
+        e.match = match;
+        e.action = Action::output(out_ports[sw]);
+        rs.add_entry(std::move(e));
+      }
+    }
+  }
+  return rs;
+}
+
+}  // namespace sdnprobe::flow

@@ -1,0 +1,34 @@
+#include "flow/entry.h"
+
+#include <sstream>
+
+namespace sdnprobe::flow {
+
+std::string FlowEntry::to_string() const {
+  std::ostringstream out;
+  out << "FlowEntry(id=" << id << ", sw=" << switch_id << ", tbl=" << table_id
+      << ", prio=" << priority << ", match=" << match.to_string();
+  if (set_field.wildcard_count() != set_field.width()) {
+    out << ", set=" << set_field.to_string();
+  }
+  out << ", action=";
+  switch (action.type) {
+    case ActionType::kOutput:
+      out << "output:" << action.out_port;
+      break;
+    case ActionType::kDrop:
+      out << "drop";
+      break;
+    case ActionType::kGotoTable:
+      out << "goto:" << action.next_table;
+      break;
+    case ActionType::kToController:
+      out << "to-controller";
+      break;
+  }
+  if (is_test_entry) out << ", TEST";
+  out << ")";
+  return out.str();
+}
+
+}  // namespace sdnprobe::flow

@@ -1,0 +1,88 @@
+// RuleSet: the control plane's authoritative view of the network — the
+// switch topology, a canonical port numbering, and every policy flow entry.
+// This is the input to SDNProbe's rule-graph construction and the source
+// from which the data-plane simulator is programmed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flow/entry.h"
+#include "flow/table.h"
+#include "hsa/header_space.h"
+#include "topo/graph.h"
+
+namespace sdnprobe::flow {
+
+// Canonical port numbering derived from the topology: on switch s with
+// neighbors n_0 < n_1 < ... (adjacency insertion order), port i connects to
+// n_i; port degree(s) is the host/edge port.
+class PortMap {
+ public:
+  explicit PortMap(const topo::Graph& g);
+  PortMap() = default;
+
+  // Port on `from` that reaches neighbor `to`; nullopt if not adjacent.
+  std::optional<PortId> port_to(SwitchId from, SwitchId to) const;
+
+  // Switch on the far side of (sw, port); nullopt for host port / invalid.
+  std::optional<SwitchId> peer_of(SwitchId sw, PortId port) const;
+
+  // The host-facing port of a switch.
+  PortId host_port(SwitchId sw) const;
+
+  int switch_count() const { return static_cast<int>(ports_.size()); }
+
+ private:
+  // ports_[s][p] = neighbor id.
+  std::vector<std::vector<SwitchId>> ports_;
+};
+
+class RuleSet {
+ public:
+  explicit RuleSet(topo::Graph topology, int header_width);
+  RuleSet() = default;
+
+  const topo::Graph& topology() const { return topology_; }
+  const PortMap& ports() const { return ports_; }
+  int header_width() const { return header_width_; }
+  int switch_count() const { return topology_.node_count(); }
+
+  // Adds a policy entry; assigns and returns its EntryId. The entry's
+  // switch/table/priority/match/set/action fields must be filled in.
+  EntryId add_entry(FlowEntry e);
+
+  std::size_t entry_count() const { return entries_.size(); }
+  const FlowEntry& entry(EntryId id) const {
+    return entries_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+
+  // Number of tables a switch uses (max table_id + 1; >= 1).
+  int table_count(SwitchId sw) const;
+  const FlowTable& table(SwitchId sw, TableId t) const;
+
+  // r.in for an entry (match minus higher-priority overlaps, §V-A).
+  hsa::HeaderSpace input_space(EntryId id) const;
+
+  // r.out = T(r.in, r.s).
+  hsa::HeaderSpace output_space(EntryId id) const;
+
+  // The switch an entry forwards to, when its action is kOutput toward a
+  // neighboring switch (nullopt for drop/host-port/controller/goto).
+  std::optional<SwitchId> next_switch(EntryId id) const;
+
+  // Longest chain of pairwise-overlapping rules in one table (the paper's
+  // "maximum number of overlapping rules", §VIII-A).
+  int max_overlap_chain() const;
+
+ private:
+  topo::Graph topology_;
+  PortMap ports_;
+  int header_width_ = 32;
+  std::vector<FlowEntry> entries_;
+  // tables_[switch][table]
+  std::vector<std::vector<FlowTable>> tables_;
+};
+
+}  // namespace sdnprobe::flow

@@ -1,0 +1,58 @@
+#include "flow/table.h"
+
+#include <algorithm>
+
+namespace sdnprobe::flow {
+
+void FlowTable::insert(const FlowEntry& e) {
+  // Stable position: after all entries with priority >= e.priority.
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&e](const FlowEntry& x) {
+                           return x.priority < e.priority;
+                         });
+  entries_.insert(it, e);
+}
+
+bool FlowTable::erase(EntryId id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [id](const FlowEntry& x) { return x.id == id; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+const FlowEntry* FlowTable::lookup(const hsa::TernaryString& header) const {
+  for (const auto& e : entries_) {
+    if (e.match.covers(header)) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const FlowEntry*> FlowTable::overlapping_above(
+    const FlowEntry& e) const {
+  std::vector<const FlowEntry*> out;
+  for (const auto& q : entries_) {
+    if (q.priority <= e.priority) break;  // sorted descending
+    if (q.id != e.id && q.match.intersects(e.match)) out.push_back(&q);
+  }
+  return out;
+}
+
+hsa::HeaderSpace FlowTable::input_space(EntryId id) const {
+  const FlowEntry* target = nullptr;
+  for (const auto& e : entries_) {
+    if (e.id == id) {
+      target = &e;
+      break;
+    }
+  }
+  if (!target) return hsa::HeaderSpace();
+  hsa::HeaderSpace in(target->match);
+  for (const FlowEntry* q : overlapping_above(*target)) {
+    in = in.subtract(q->match);
+    if (in.is_empty()) break;
+  }
+  return in;
+}
+
+}  // namespace sdnprobe::flow

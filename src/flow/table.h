@@ -1,0 +1,42 @@
+// A single OpenFlow flow table: priority-ordered matching over flow entries.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flow/entry.h"
+#include "hsa/header_space.h"
+
+namespace sdnprobe::flow {
+
+// Stores entries sorted by descending priority (ties broken by insertion
+// order, matching OVS behavior closely enough for our purposes). Lookup
+// returns the highest-priority entry whose match covers the header.
+class FlowTable {
+ public:
+  // Inserts an entry (copied). Keeps descending-priority order.
+  void insert(const FlowEntry& e);
+
+  // Removes the entry with the given id; returns true if found.
+  bool erase(EntryId id);
+
+  // Highest-priority match for a concrete header, or nullptr.
+  const FlowEntry* lookup(const hsa::TernaryString& header) const;
+
+  // All entries, descending priority.
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // The paper's r.in for an entry in this table: its match minus the union
+  // of all strictly-higher-priority overlapping matches (§V-A).
+  hsa::HeaderSpace input_space(EntryId id) const;
+
+  // Entries q with q >o e (same table, higher priority, overlapping match).
+  std::vector<const FlowEntry*> overlapping_above(const FlowEntry& e) const;
+
+ private:
+  std::vector<FlowEntry> entries_;
+};
+
+}  // namespace sdnprobe::flow

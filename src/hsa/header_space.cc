@@ -1,0 +1,194 @@
+#include "hsa/header_space.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sdnprobe::hsa {
+
+HeaderSpace::HeaderSpace(TernaryString cube) : width_(cube.width()) {
+  cubes_.push_back(std::move(cube));
+}
+
+HeaderSpace HeaderSpace::full(int width) {
+  return HeaderSpace(TernaryString::wildcard(width));
+}
+
+bool HeaderSpace::contains(const TernaryString& h) const {
+  for (const auto& c : cubes_) {
+    if (c.covers(h)) return true;
+  }
+  return false;
+}
+
+bool HeaderSpace::covers_cube(const TernaryString& c) const {
+  // c ⊆ this  <=>  c − this == ∅.
+  std::vector<TernaryString> remainder{c};
+  for (const auto& mine : cubes_) {
+    std::vector<TernaryString> next;
+    for (const auto& r : remainder) {
+      auto pieces = cube_difference(r, mine);
+      next.insert(next.end(), pieces.begin(), pieces.end());
+    }
+    remainder = std::move(next);
+    if (remainder.empty()) return true;
+  }
+  return remainder.empty();
+}
+
+void HeaderSpace::add_cube(const TernaryString& c) {
+  for (const auto& existing : cubes_) {
+    if (existing.covers(c)) return;
+  }
+  cubes_.push_back(c);
+}
+
+HeaderSpace HeaderSpace::union_with(const HeaderSpace& o) const {
+  assert(width_ == o.width_ || is_empty() || o.is_empty());
+  HeaderSpace r = *this;
+  if (r.width_ == 0) r.width_ = o.width_;
+  for (const auto& c : o.cubes_) r.add_cube(c);
+  r.simplify();
+  return r;
+}
+
+HeaderSpace HeaderSpace::intersect(const HeaderSpace& o) const {
+  HeaderSpace r(width_ ? width_ : o.width_);
+  for (const auto& a : cubes_) {
+    for (const auto& b : o.cubes_) {
+      if (auto c = a.intersect(b)) r.add_cube(*c);
+    }
+  }
+  r.simplify();
+  return r;
+}
+
+HeaderSpace HeaderSpace::intersect(const TernaryString& cube) const {
+  HeaderSpace r(width_ ? width_ : cube.width());
+  for (const auto& a : cubes_) {
+    if (auto c = a.intersect(cube)) r.add_cube(*c);
+  }
+  r.simplify();
+  return r;
+}
+
+std::vector<TernaryString> cube_difference(const TernaryString& a,
+                                           const TernaryString& b) {
+  if (!a.intersects(b)) return {a};
+  // Split a along each bit where b is exact but the running remainder is
+  // wildcard: peel off the half that disagrees with b. What is left at the
+  // end agrees with b on all of b's exact bits, i.e. lies inside b — drop it.
+  std::vector<TernaryString> out;
+  TernaryString cur = a;
+  for (int k = 0; k < a.width(); ++k) {
+    const Trit bk = b.get(k);
+    if (bk == Trit::kWild) continue;
+    if (cur.get(k) != Trit::kWild) continue;  // intersects(b) => values agree
+    TernaryString piece = cur;
+    piece.set(k, bk == Trit::kOne ? Trit::kZero : Trit::kOne);
+    out.push_back(piece);
+    cur.set(k, bk);
+  }
+  return out;
+}
+
+HeaderSpace HeaderSpace::subtract(const TernaryString& cube) const {
+  HeaderSpace r(width_);
+  for (const auto& a : cubes_) {
+    for (const auto& piece : cube_difference(a, cube)) r.add_cube(piece);
+  }
+  r.simplify();
+  return r;
+}
+
+HeaderSpace HeaderSpace::subtract(const HeaderSpace& o) const {
+  HeaderSpace r = *this;
+  for (const auto& b : o.cubes_) {
+    r = r.subtract(b);
+    if (r.is_empty()) break;
+  }
+  return r;
+}
+
+HeaderSpace HeaderSpace::transform(const TernaryString& set_field) const {
+  HeaderSpace r(width_);
+  for (const auto& c : cubes_) r.add_cube(c.transform(set_field));
+  r.simplify();
+  return r;
+}
+
+HeaderSpace HeaderSpace::inverse_transform(
+    const TernaryString& set_field) const {
+  HeaderSpace r(width_);
+  for (const auto& c : cubes_) {
+    if (auto pre = c.inverse_transform(set_field)) r.add_cube(*pre);
+  }
+  r.simplify();
+  return r;
+}
+
+void HeaderSpace::simplify() {
+  std::vector<TernaryString> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool subsumed = false;
+    for (std::size_t j = 0; j < cubes_.size(); ++j) {
+      if (i == j) continue;
+      if (cubes_[j].covers(cubes_[i]) &&
+          !(cubes_[i].covers(cubes_[j]) && j > i)) {
+        // Drop i if j strictly covers it, or if they are equal keep only the
+        // earlier one.
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+std::optional<TernaryString> HeaderSpace::sample(util::Rng& rng) const {
+  if (cubes_.empty()) return std::nullopt;
+  // Volume-weighted cube choice. Volumes as doubles are fine: widths <= 128
+  // and relative weights only need a few bits of precision.
+  double total = 0.0;
+  for (const auto& c : cubes_) total += std::ldexp(1.0, c.wildcard_count());
+  double pick = rng.next_double() * total;
+  for (const auto& c : cubes_) {
+    pick -= std::ldexp(1.0, c.wildcard_count());
+    if (pick <= 0.0) return c.sample(rng);
+  }
+  return cubes_.back().sample(rng);
+}
+
+std::optional<TernaryString> HeaderSpace::any_member() const {
+  if (cubes_.empty()) return std::nullopt;
+  TernaryString h = cubes_.front();
+  for (int k = 0; k < h.width(); ++k) {
+    if (h.get(k) == Trit::kWild) h.set(k, Trit::kZero);
+  }
+  return h;
+}
+
+std::string HeaderSpace::to_string() const {
+  if (cubes_.empty()) return "∅";
+  std::string s;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    if (i) s += " ∪ ";
+    s += cubes_[i].to_string();
+  }
+  return s;
+}
+
+bool HeaderSpace::operator==(const HeaderSpace& o) const {
+  // Semantic equality: mutual coverage.
+  for (const auto& c : cubes_) {
+    if (!o.covers_cube(c)) return false;
+  }
+  for (const auto& c : o.cubes_) {
+    if (!covers_cube(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace sdnprobe::hsa

@@ -1,0 +1,94 @@
+// HeaderSpace: a set of packet headers represented as a union of ternary
+// cubes, with the operations the paper's algorithms need:
+//
+//   r.in  = r.m − ∪_{q >o r} q.m          (difference, §V-A)
+//   edge (ri, rj) iff ri.out ∩ rj.in ≠ ∅   (intersection + emptiness)
+//   O_{i+1} = T(O_i ∩ r.in, r.s)          (legal-path propagation, Def. 1)
+//   HS(ℓ) sampling for probe headers       (§V-B step 3, §V-C)
+//
+// Difference can grow the cube count; callers that chain many subtractions
+// should rely on simplify(), which removes subsumed cubes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hsa/ternary.h"
+#include "util/rng.h"
+
+namespace sdnprobe::hsa {
+
+class HeaderSpace {
+ public:
+  // The empty set (width recorded for sanity checks; 0 = unspecified).
+  explicit HeaderSpace(int width = 0) : width_(width) {}
+
+  // The set denoted by one cube.
+  explicit HeaderSpace(TernaryString cube);
+
+  // The full space {x}^width.
+  static HeaderSpace full(int width);
+  static HeaderSpace empty(int width) { return HeaderSpace(width); }
+
+  int width() const { return width_; }
+  bool is_empty() const { return cubes_.empty(); }
+  std::size_t cube_count() const { return cubes_.size(); }
+  const std::vector<TernaryString>& cubes() const { return cubes_; }
+
+  // True when the concrete header `h` belongs to the set.
+  bool contains(const TernaryString& h) const;
+
+  // True when this set covers every header of cube `c` (used by simplify and
+  // by the tests' equivalence checks). Exact but potentially exponential in
+  // pathological cases; our rule widths keep it cheap.
+  bool covers_cube(const TernaryString& c) const;
+
+  // Set union (cube list concatenation + subsumption cleanup).
+  HeaderSpace union_with(const HeaderSpace& o) const;
+
+  // Set intersection (pairwise cube intersection).
+  HeaderSpace intersect(const HeaderSpace& o) const;
+  HeaderSpace intersect(const TernaryString& cube) const;
+
+  // Set difference this − o, the HSA cube-splitting algorithm.
+  HeaderSpace subtract(const HeaderSpace& o) const;
+  HeaderSpace subtract(const TernaryString& cube) const;
+
+  // Applies the set-field transform T(·, s) to every cube.
+  HeaderSpace transform(const TernaryString& set_field) const;
+
+  // Pre-image under the set-field transform: headers h with T(h, s) ∈ this.
+  // Used for backward legal-path propagation (computing the injectable
+  // header space of a tested path).
+  HeaderSpace inverse_transform(const TernaryString& set_field) const;
+
+  // Removes cubes covered by other single cubes (cheap pass), keeping the
+  // represented set identical.
+  void simplify();
+
+  // Samples one concrete header ~ proportionally to cube volume (exact when
+  // cubes are disjoint; mildly biased toward overlaps otherwise, which is
+  // fine for probe-header randomization). Returns nullopt when empty.
+  std::optional<TernaryString> sample(util::Rng& rng) const;
+
+  // Deterministically picks some member header (first cube, wildcards -> 0).
+  std::optional<TernaryString> any_member() const;
+
+  std::string to_string() const;
+
+  bool operator==(const HeaderSpace& o) const;
+
+ private:
+  void add_cube(const TernaryString& c);
+
+  int width_;
+  std::vector<TernaryString> cubes_;
+};
+
+// Difference of two single cubes a − b as a cube list (helper shared with the
+// SAT encoding). Result cubes are pairwise disjoint.
+std::vector<TernaryString> cube_difference(const TernaryString& a,
+                                           const TernaryString& b);
+
+}  // namespace sdnprobe::hsa

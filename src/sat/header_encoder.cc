@@ -1,0 +1,109 @@
+#include "sat/header_encoder.h"
+
+#include <cassert>
+
+namespace sdnprobe::sat {
+
+HeaderEncoder::HeaderEncoder(Solver& solver, int width)
+    : solver_(solver), width_(width) {
+  assert(width >= 0);
+  first_var_ = solver_.num_vars();
+  for (int k = 0; k < width; ++k) solver_.new_var();
+}
+
+Var HeaderEncoder::bit_var(int k) const {
+  assert(k >= 0 && k < width_);
+  return first_var_ + k;
+}
+
+void HeaderEncoder::require_in_cube(const hsa::TernaryString& cube) {
+  assert(cube.width() == width_);
+  for (int k = 0; k < width_; ++k) {
+    switch (cube.get(k)) {
+      case hsa::Trit::kOne:
+        solver_.add_unit(pos(bit_var(k)));
+        break;
+      case hsa::Trit::kZero:
+        solver_.add_unit(neg(bit_var(k)));
+        break;
+      case hsa::Trit::kWild:
+        break;
+    }
+  }
+}
+
+void HeaderEncoder::require_not_in_cube(const hsa::TernaryString& cube) {
+  assert(cube.width() == width_);
+  std::vector<Lit> clause;
+  for (int k = 0; k < width_; ++k) {
+    switch (cube.get(k)) {
+      case hsa::Trit::kOne:
+        clause.push_back(neg(bit_var(k)));
+        break;
+      case hsa::Trit::kZero:
+        clause.push_back(pos(bit_var(k)));
+        break;
+      case hsa::Trit::kWild:
+        break;
+    }
+  }
+  solver_.add_clause(std::move(clause));
+}
+
+void HeaderEncoder::require_in_space(const hsa::HeaderSpace& space) {
+  if (space.is_empty()) {
+    solver_.add_clause({});  // unsatisfiable, faithfully
+    return;
+  }
+  // Selector variable s_i per cube: s_i -> (header in cube_i); ∨ s_i.
+  std::vector<Lit> at_least_one;
+  for (const auto& cube : space.cubes()) {
+    const Var s = solver_.new_var();
+    at_least_one.push_back(pos(s));
+    for (int k = 0; k < width_; ++k) {
+      switch (cube.get(k)) {
+        case hsa::Trit::kOne:
+          solver_.add_binary(neg(s), pos(bit_var(k)));
+          break;
+        case hsa::Trit::kZero:
+          solver_.add_binary(neg(s), neg(bit_var(k)));
+          break;
+        case hsa::Trit::kWild:
+          break;
+      }
+    }
+  }
+  solver_.add_clause(std::move(at_least_one));
+}
+
+void HeaderEncoder::require_not_in_space(const hsa::HeaderSpace& space) {
+  for (const auto& cube : space.cubes()) require_not_in_cube(cube);
+}
+
+void HeaderEncoder::require_differs_from(const hsa::TernaryString& concrete) {
+  assert(concrete.is_concrete());
+  require_not_in_cube(concrete);
+}
+
+hsa::TernaryString HeaderEncoder::extract_model() const {
+  hsa::TernaryString h(width_);
+  for (int k = 0; k < width_; ++k) {
+    h.set(k, solver_.model_value(bit_var(k)) ? hsa::Trit::kOne
+                                             : hsa::Trit::kZero);
+  }
+  return h;
+}
+
+std::optional<hsa::TernaryString> solve_header_in(
+    const hsa::HeaderSpace& space,
+    const std::vector<hsa::TernaryString>& forbidden_headers,
+    std::int64_t conflict_budget) {
+  Solver solver;
+  HeaderEncoder enc(solver, space.width());
+  enc.require_in_space(space);
+  for (const auto& h : forbidden_headers) enc.require_differs_from(h);
+  if (solver.solve(conflict_budget) != Result::kSat) return std::nullopt;
+  return enc.extract_model();
+}
+
+}  // namespace sdnprobe::sat

@@ -1,0 +1,66 @@
+// CNF encoding of header constraints over a ternary header space, bridging
+// hsa:: types to the SAT solver. This is how the reproduction realizes the
+// paper's two SAT uses:
+//
+//  1. §V-A: find a concrete header in r.in = r.m − ∪ overlapping matches
+//     (require_in_cube(r.m) + require_not_in_cube(q.m) per overlap q).
+//  2. §VI: find a *unique* probe header u that matches the tested entries but
+//     no other entry on the path's switches and differs from all previously
+//     chosen probe headers.
+#pragma once
+
+#include <optional>
+
+#include "hsa/header_space.h"
+#include "hsa/ternary.h"
+#include "sat/solver.h"
+
+namespace sdnprobe::sat {
+
+// Owns one Boolean variable per header bit within a caller-provided Solver.
+// Multiple encoders over one solver are allowed (e.g. joint constraints on
+// several headers), each with its own bit variables.
+class HeaderEncoder {
+ public:
+  // Allocates `width` fresh bit variables in `solver`. H[k] == 1 corresponds
+  // to bit_var(k) being true.
+  HeaderEncoder(Solver& solver, int width);
+
+  int width() const { return width_; }
+  Var bit_var(int k) const;
+
+  // header ∈ cube: unit clause per exact bit of the cube.
+  void require_in_cube(const hsa::TernaryString& cube);
+
+  // header ∉ cube: one clause asserting at least one exact bit differs.
+  // A fully-wildcard cube covers everything, making the formula unsat; that
+  // is encoded faithfully (an empty clause).
+  void require_not_in_cube(const hsa::TernaryString& cube);
+
+  // header ∈ (union of cubes): Tseitin selector per cube.
+  void require_in_space(const hsa::HeaderSpace& space);
+
+  // header ∉ every cube of the space.
+  void require_not_in_space(const hsa::HeaderSpace& space);
+
+  // header != the given concrete header (used for probe-header uniqueness).
+  void require_differs_from(const hsa::TernaryString& concrete);
+
+  // After Solver::solve() == kSat, reads the concrete header off the model.
+  hsa::TernaryString extract_model() const;
+
+ private:
+  Solver& solver_;
+  int width_;
+  Var first_var_;
+};
+
+// One-shot helper: find a concrete header inside `space`, excluding any of
+// `forbidden` (may be empty). Returns nullopt when unsatisfiable or the
+// conflict budget is exhausted.
+std::optional<hsa::TernaryString> solve_header_in(
+    const hsa::HeaderSpace& space,
+    const std::vector<hsa::TernaryString>& forbidden_headers = {},
+    std::int64_t conflict_budget = -1);
+
+}  // namespace sdnprobe::sat

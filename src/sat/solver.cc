@@ -1,0 +1,331 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdnprobe::sat {
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(kUndef);
+  reason_.push_back(-1);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  polarity_.push_back(1);  // default phase: prefer false (common heuristic)
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  assert(trail_lim_.empty() && "clauses must be added at decision level 0");
+  // Normalize: sort, dedup, drop false literals, detect tautology/satisfied.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> cleaned;
+  cleaned.reserve(lits.size());
+  Lit prev = -1;
+  for (Lit l : lits) {
+    assert(var_of(l) < num_vars());
+    if (l == prev) continue;
+    if (prev >= 0 && l == negate(prev) && var_of(l) == var_of(prev)) {
+      return true;  // tautology: contains v and ¬v
+    }
+    const std::uint8_t val = lit_value(l);
+    if (val == kTrue) return true;  // already satisfied at level 0
+    if (val == kFalse) continue;    // already falsified at level 0: drop
+    cleaned.push_back(l);
+    prev = l;
+  }
+  if (cleaned.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (cleaned.size() == 1) {
+    enqueue(cleaned[0], -1);
+    if (propagate() != -1) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  clauses_.push_back(Clause{std::move(cleaned), /*learned=*/false, 0.0});
+  attach_clause(static_cast<int>(clauses_.size()) - 1);
+  return true;
+}
+
+void Solver::attach_clause(int ci) {
+  const auto& c = clauses_[static_cast<std::size_t>(ci)].lits;
+  assert(c.size() >= 2);
+  watches_[static_cast<std::size_t>(negate(c[0]))].push_back(
+      Watcher{ci, c[1]});
+  watches_[static_cast<std::size_t>(negate(c[1]))].push_back(
+      Watcher{ci, c[0]});
+}
+
+void Solver::enqueue(Lit l, int reason) {
+  const Var v = var_of(l);
+  assert(assigns_[static_cast<std::size_t>(v)] == kUndef);
+  assigns_[static_cast<std::size_t>(v)] =
+      is_negated(l) ? kFalse : kTrue;
+  reason_[static_cast<std::size_t>(v)] = reason;
+  level_[static_cast<std::size_t>(v)] =
+      static_cast<int>(trail_lim_.size());
+  polarity_[static_cast<std::size_t>(v)] = is_negated(l) ? 1 : 0;
+  trail_.push_back(l);
+}
+
+int Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[static_cast<std::size_t>(p)];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      if (lit_value(w.blocker) == kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      auto& c = clauses_[static_cast<std::size_t>(w.clause_index)].lits;
+      // Ensure the falsified literal (negate(p)) sits at position 1.
+      const Lit false_lit = negate(p);
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      assert(c[1] == false_lit);
+      // If the other watch is true, the clause is satisfied.
+      if (lit_value(c[0]) == kTrue) {
+        ws[j++] = Watcher{w.clause_index, c[0]};
+        ++i;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (lit_value(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[static_cast<std::size_t>(negate(c[1]))].push_back(
+              Watcher{w.clause_index, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        ++i;  // watcher migrated; do not keep it here
+        continue;
+      }
+      // Clause is unit or conflicting.
+      if (lit_value(c[0]) == kFalse) {
+        // Conflict: restore remaining watchers and report.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        qhead_ = trail_.size();
+        return w.clause_index;
+      }
+      enqueue(c[0], w.clause_index);
+      ws[j++] = ws[i++];
+    }
+    ws.resize(j);
+  }
+  return -1;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_activities() { var_inc_ /= 0.95; }
+
+void Solver::analyze(int conflict, std::vector<Lit>& learnt,
+                     int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(0);  // placeholder for the asserting (1UIP) literal
+  int counter = 0;      // literals of the current level still to resolve
+  Lit p = -1;
+  int ci = conflict;
+  std::size_t index = trail_.size();
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  do {
+    assert(ci != -1);
+    const auto& c = clauses_[static_cast<std::size_t>(ci)].lits;
+    const std::size_t start = (p == -1) ? 0 : 1;
+    for (std::size_t k = start; k < c.size(); ++k) {
+      const Lit q = c[k];
+      const Var v = var_of(q);
+      if (seen_[static_cast<std::size_t>(v)] ||
+          level_[static_cast<std::size_t>(v)] == 0) {
+        continue;
+      }
+      seen_[static_cast<std::size_t>(v)] = 1;
+      bump_var(v);
+      if (level_[static_cast<std::size_t>(v)] == current_level) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Select the next literal on the trail to resolve on.
+    while (!seen_[static_cast<std::size_t>(var_of(trail_[index - 1]))]) {
+      --index;
+    }
+    --index;
+    p = trail_[index];
+    ci = reason_[static_cast<std::size_t>(var_of(p))];
+    seen_[static_cast<std::size_t>(var_of(p))] = 0;
+    --counter;
+  } while (counter > 0);
+  learnt[0] = negate(p);
+
+  // Compute backtrack level: the second-highest level in the learnt clause.
+  if (learnt.size() == 1) {
+    backtrack_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < learnt.size(); ++k) {
+      if (level_[static_cast<std::size_t>(var_of(learnt[k]))] >
+          level_[static_cast<std::size_t>(var_of(learnt[max_i]))]) {
+        max_i = k;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_[static_cast<std::size_t>(var_of(learnt[1]))];
+  }
+  for (const Lit l : learnt) seen_[static_cast<std::size_t>(var_of(l))] = 0;
+}
+
+void Solver::backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) return;
+  const std::size_t keep =
+      static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(
+          target_level)]);
+  for (std::size_t k = trail_.size(); k > keep; --k) {
+    const Var v = var_of(trail_[k - 1]);
+    assigns_[static_cast<std::size_t>(v)] = kUndef;
+    reason_[static_cast<std::size_t>(v)] = -1;
+  }
+  trail_.resize(keep);
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  // Highest-activity unassigned variable; linear scan is ample for the
+  // header-synthesis formulas this repo generates (hundreds of variables).
+  Var best = -1;
+  double best_act = -1.0;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assigns_[static_cast<std::size_t>(v)] != kUndef) continue;
+    if (activity_[static_cast<std::size_t>(v)] > best_act) {
+      best_act = activity_[static_cast<std::size_t>(v)];
+      best = v;
+    }
+  }
+  if (best < 0) return -1;
+  return make_lit(best, polarity_[static_cast<std::size_t>(best)] != 0);
+}
+
+void Solver::reduce_learned() {
+  // Drop the lower-activity half of learned clauses that are not currently
+  // reasons. Simple but keeps memory bounded on long runs.
+  std::vector<int> candidates;
+  for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) {
+    if (clauses_[static_cast<std::size_t>(ci)].learned) {
+      candidates.push_back(ci);
+    }
+  }
+  if (candidates.size() < 64) return;
+  std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+    return clauses_[static_cast<std::size_t>(a)].activity <
+           clauses_[static_cast<std::size_t>(b)].activity;
+  });
+  // Rebuilding watches wholesale is simpler than surgically detaching and is
+  // rare (only on reduction), so the cost is acceptable.
+  std::vector<std::uint8_t> is_reason(clauses_.size(), 0);
+  for (Var v = 0; v < num_vars(); ++v) {
+    const int r = reason_[static_cast<std::size_t>(v)];
+    if (r >= 0) is_reason[static_cast<std::size_t>(r)] = 1;
+  }
+  std::vector<std::uint8_t> drop(clauses_.size(), 0);
+  for (std::size_t k = 0; k < candidates.size() / 2; ++k) {
+    const int ci = candidates[k];
+    if (!is_reason[static_cast<std::size_t>(ci)]) {
+      drop[static_cast<std::size_t>(ci)] = 1;
+    }
+  }
+  std::vector<Clause> kept;
+  std::vector<int> remap(clauses_.size(), -1);
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+    if (!drop[ci]) {
+      remap[ci] = static_cast<int>(kept.size());
+      kept.push_back(std::move(clauses_[ci]));
+    }
+  }
+  clauses_ = std::move(kept);
+  for (Var v = 0; v < num_vars(); ++v) {
+    int& r = reason_[static_cast<std::size_t>(v)];
+    if (r >= 0) r = remap[static_cast<std::size_t>(r)];
+  }
+  for (auto& ws : watches_) ws.clear();
+  for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) {
+    attach_clause(ci);
+  }
+}
+
+Result Solver::solve(std::int64_t conflict_budget) {
+  if (!ok_) return Result::kUnsat;
+  std::int64_t conflicts_left = conflict_budget;
+  std::uint64_t restart_limit = 100;
+  std::uint64_t conflicts_since_restart = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    const int conflict = propagate();
+    if (conflict != -1) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) return Result::kUnsat;  // conflict at level 0
+      if (conflict_budget >= 0 && --conflicts_left < 0) {
+        backtrack(0);
+        return Result::kUnknown;
+      }
+      int back_level = 0;
+      analyze(conflict, learnt, back_level);
+      backtrack(back_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], -1);
+      } else {
+        clauses_.push_back(Clause{learnt, /*learned=*/true, var_inc_});
+        ++stats_.learned_clauses;
+        attach_clause(static_cast<int>(clauses_.size()) - 1);
+        enqueue(learnt[0], static_cast<int>(clauses_.size()) - 1);
+      }
+      decay_activities();
+      continue;
+    }
+    if (conflicts_since_restart >= restart_limit) {
+      ++stats_.restarts;
+      conflicts_since_restart = 0;
+      restart_limit = restart_limit + restart_limit / 2;  // geometric
+      backtrack(0);
+      reduce_learned();
+      continue;
+    }
+    const Lit branch = pick_branch();
+    if (branch < 0) return Result::kSat;  // all variables assigned
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(branch, -1);
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  assert(v >= 0 && v < num_vars());
+  return assigns_[static_cast<std::size_t>(v)] == kTrue;
+}
+
+}  // namespace sdnprobe::sat

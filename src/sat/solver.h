@@ -1,0 +1,118 @@
+// A small from-scratch CDCL SAT solver, standing in for MiniSat [17] in the
+// paper's header-synthesis pipeline (§V-A "we can obtain a header that
+// satisfies the input using efficient SAT/SMT solvers" and §VI's unique
+// probe-header selection).
+//
+// Features: two-watched-literal propagation, first-UIP conflict-driven clause
+// learning, activity-based branching with decay, geometric restarts, and an
+// optional conflict budget so callers can bound solve time.
+//
+// Literal encoding (MiniSat convention): variable v >= 0; positive literal
+// 2*v, negative literal 2*v+1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sdnprobe::sat {
+
+using Var = int;
+using Lit = int;
+
+constexpr Lit make_lit(Var v, bool negated) { return 2 * v + (negated ? 1 : 0); }
+constexpr Lit pos(Var v) { return 2 * v; }
+constexpr Lit neg(Var v) { return 2 * v + 1; }
+constexpr Var var_of(Lit l) { return l >> 1; }
+constexpr bool is_negated(Lit l) { return l & 1; }
+constexpr Lit negate(Lit l) { return l ^ 1; }
+
+enum class Result { kSat, kUnsat, kUnknown };
+
+// Aggregate search counters, exposed for the §VIII-A latency bench.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+};
+
+class Solver {
+ public:
+  Solver() = default;
+
+  // Allocates a fresh variable and returns its index.
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  // Adds a clause (disjunction of literals). Returns false if the clause
+  // makes the formula trivially unsatisfiable (empty after simplification,
+  // or conflicts with current top-level assignments). All referenced
+  // variables must have been created with new_var().
+  bool add_clause(std::vector<Lit> lits);
+
+  // Convenience overloads.
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+
+  // Solves the current formula. `conflict_budget` < 0 means unbounded;
+  // otherwise the search gives up with kUnknown after that many conflicts.
+  Result solve(std::int64_t conflict_budget = -1);
+
+  // Model access after solve() returned kSat.
+  bool model_value(Var v) const;
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  // Assignment lattice: 0 = true, 1 = false, 2 = unassigned; chosen so that
+  // value(lit) = assigns_[var] ^ sign works out with XOR tricks below.
+  static constexpr std::uint8_t kTrue = 0;
+  static constexpr std::uint8_t kFalse = 1;
+  static constexpr std::uint8_t kUndef = 2;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+    double activity = 0.0;
+  };
+
+  struct Watcher {
+    int clause_index;
+    Lit blocker;  // quick-check literal; if true, clause already satisfied
+  };
+
+  std::uint8_t lit_value(Lit l) const {
+    const std::uint8_t a = assigns_[static_cast<std::size_t>(var_of(l))];
+    return a == kUndef ? kUndef : static_cast<std::uint8_t>(a ^ (l & 1));
+  }
+
+  void enqueue(Lit l, int reason);
+  int propagate();  // returns conflicting clause index or -1
+  void analyze(int conflict, std::vector<Lit>& learnt, int& backtrack_level);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(Var v);
+  void decay_activities();
+  void attach_clause(int ci);
+  void reduce_learned();
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+  std::vector<std::uint8_t> assigns_;          // indexed by var
+  std::vector<int> reason_;                    // clause index or -1 (decision)
+  std::vector<int> level_;                     // decision level per var
+  std::vector<double> activity_;               // branching activity per var
+  std::vector<std::uint8_t> polarity_;         // phase saving
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;  // trail index at each decision level
+  std::size_t qhead_ = 0;
+  double var_inc_ = 1.0;
+  bool ok_ = true;  // false once the formula is proven unsat at level 0
+  SolverStats stats_;
+
+  // Scratch used by analyze().
+  std::vector<std::uint8_t> seen_;
+};
+
+}  // namespace sdnprobe::sat

@@ -1,0 +1,37 @@
+#include "sim/event_loop.h"
+
+#include <limits>
+#include <utility>
+
+namespace sdnprobe::sim {
+
+void EventLoop::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventLoop::run() {
+  return run_until(std::numeric_limits<SimTime>::infinity());
+}
+
+std::size_t EventLoop::run_until(SimTime deadline) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    // Copy out before pop: the callback may schedule new events.
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    e.fn();
+    ++ran;
+  }
+  if (now_ < deadline && deadline != std::numeric_limits<SimTime>::infinity()) {
+    now_ = deadline;
+  }
+  return ran;
+}
+
+void EventLoop::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace sdnprobe::sim

@@ -1,0 +1,59 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace sdnprobe::util {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_threshold() && level != LogLevel::kOff),
+      level_(level) {
+  if (enabled_) {
+    stream_ << '[' << level_tag(level) << "] " << basename_of(file) << ':'
+            << line << ": ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << '\n';
+    std::cerr << stream_.str();
+  }
+  (void)level_;
+}
+
+}  // namespace internal
+}  // namespace sdnprobe::util

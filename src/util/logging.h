@@ -1,0 +1,49 @@
+// Minimal leveled logger. Components log through this so experiments can be
+// run quietly (benches) or verbosely (debugging a localization run).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sdnprobe::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log threshold; messages below it are discarded. Defaults to kWarn so
+// library users are not spammed unless they opt in.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sdnprobe::util
+
+#define SDNPROBE_LOG(level)                                          \
+  ::sdnprobe::util::internal::LogMessage(                            \
+      ::sdnprobe::util::LogLevel::k##level, __FILE__, __LINE__)
+
+#define LOG_DEBUG SDNPROBE_LOG(Debug)
+#define LOG_INFO SDNPROBE_LOG(Info)
+#define LOG_WARN SDNPROBE_LOG(Warn)
+#define LOG_ERROR SDNPROBE_LOG(Error)

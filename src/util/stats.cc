@@ -1,0 +1,125 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sdnprobe::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.back();
+}
+
+double Samples::quantile(double q) const {
+  ensure_sorted();
+  if (xs_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+double ConfusionCounts::false_positive_rate() const {
+  const std::size_t negatives = false_positive + true_negative;
+  return negatives ? static_cast<double>(false_positive) /
+                         static_cast<double>(negatives)
+                   : 0.0;
+}
+
+double ConfusionCounts::false_negative_rate() const {
+  const std::size_t positives = true_positive + false_negative;
+  return positives ? static_cast<double>(false_negative) /
+                         static_cast<double>(positives)
+                   : 0.0;
+}
+
+double ConfusionCounts::precision() const {
+  const std::size_t flagged = true_positive + false_positive;
+  return flagged ? static_cast<double>(true_positive) /
+                       static_cast<double>(flagged)
+                 : 0.0;
+}
+
+double ConfusionCounts::recall() const {
+  const std::size_t positives = true_positive + false_negative;
+  return positives ? static_cast<double>(true_positive) /
+                         static_cast<double>(positives)
+                   : 0.0;
+}
+
+ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& o) {
+  true_positive += o.true_positive;
+  false_positive += o.false_positive;
+  true_negative += o.true_negative;
+  false_negative += o.false_negative;
+  return *this;
+}
+
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 12;
+    const std::string& c = cells[i];
+    if (static_cast<int>(c.size()) >= w) {
+      out << c << ' ';
+    } else {
+      out << std::string(static_cast<std::size_t>(w) - c.size(), ' ') << c
+          << ' ';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace sdnprobe::util

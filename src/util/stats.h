@@ -1,0 +1,82 @@
+// Streaming and batch statistics used by the benchmark harness and the
+// fault-localization evaluation (FPR/FNR, delay percentiles, packet counts).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sdnprobe::util {
+
+// Online accumulator (Welford) for mean/variance plus min/max. O(1) memory.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance; 0 when n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Batch sample set supporting exact quantiles. Used where the evaluation
+// reports medians / percentile bands across experiment repetitions.
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  // Linear-interpolated quantile, q in [0,1]. Requires a non-empty set.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+// Binary-classification tallies for fault localization accuracy.
+// "positive" = flagged faulty.
+struct ConfusionCounts {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_negative = 0;
+
+  // Fraction of good switches incorrectly flagged. 0 when no negatives exist.
+  double false_positive_rate() const;
+  // Fraction of faulty switches that evaded detection. 0 when no positives
+  // exist in the ground truth.
+  double false_negative_rate() const;
+  double precision() const;
+  double recall() const;
+
+  ConfusionCounts& operator+=(const ConfusionCounts& o);
+};
+
+// Renders a fixed-width numeric table row; keeps bench output aligned with
+// the paper's tables.
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths);
+
+}  // namespace sdnprobe::util

@@ -1,0 +1,278 @@
+// Tests for the event loop and the data-plane simulator: OpenFlow pipeline
+// semantics, fault behaviors, and the §VI test-point mechanics via the
+// controller.
+#include <gtest/gtest.h>
+
+#include "controller/controller.h"
+#include "dataplane/network.h"
+#include "sim/event_loop.h"
+
+namespace sdnprobe {
+namespace {
+
+hsa::TernaryString ts(const char* s) {
+  return *hsa::TernaryString::parse(s);
+}
+
+TEST(EventLoop, OrdersByTimeThenFifo) {
+  sim::EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(2.0, [&] { order.push_back(3); });
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  loop.schedule_at(1.0, [&] { order.push_back(2); });  // same time: FIFO
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+}
+
+TEST(EventLoop, RunUntilLeavesLaterEvents) {
+  sim::EventLoop loop;
+  int hits = 0;
+  loop.schedule_at(1.0, [&] { ++hits; });
+  loop.schedule_at(5.0, [&] { ++hits; });
+  loop.run_until(2.0);
+  EXPECT_EQ(hits, 1);
+  EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, CallbacksMayScheduleMore) {
+  sim::EventLoop loop;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) loop.schedule_in(0.1, chain);
+  };
+  loop.schedule_in(0.1, chain);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+}
+
+// A 3-switch line: 0 -- 1 -- 2, with one forwarding rule per switch for the
+// 001xxxxx flow, delivered to the host port at switch 2.
+flow::RuleSet line_rules() {
+  topo::Graph g(3);
+  g.add_edge(0, 1, 1e-3);
+  g.add_edge(1, 2, 1e-3);
+  flow::RuleSet rs(g, 8);
+  for (flow::SwitchId s = 0; s < 3; ++s) {
+    flow::FlowEntry e;
+    e.switch_id = s;
+    e.priority = 10;
+    e.match = ts("001xxxxx");
+    e.action = s < 2 ? flow::Action::output(*rs.ports().port_to(s, s + 1))
+                     : flow::Action::output(rs.ports().host_port(2));
+    rs.add_entry(e);
+  }
+  return rs;
+}
+
+TEST(Network, ForwardsAlongPipeline) {
+  const flow::RuleSet rs = line_rules();
+  sim::EventLoop loop;
+  dataplane::Network net(rs, loop);
+  int delivered = 0;
+  net.set_host_delivery_handler(
+      [&](flow::SwitchId sw, const dataplane::Packet& p, sim::SimTime) {
+        ++delivered;
+        EXPECT_EQ(sw, 2);
+        EXPECT_EQ(p.trace, (std::vector<flow::SwitchId>{0, 1, 2}));
+        EXPECT_EQ(p.entry_trace.size(), 3u);
+      });
+  dataplane::Packet pkt;
+  pkt.header = ts("00110101");
+  net.packet_out(0, pkt);
+  loop.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.counters().table_misses, 0u);
+}
+
+TEST(Network, TableMissDrops) {
+  const flow::RuleSet rs = line_rules();
+  sim::EventLoop loop;
+  dataplane::Network net(rs, loop);
+  dataplane::Packet pkt;
+  pkt.header = ts("11110101");  // matches nothing
+  net.packet_out(0, pkt);
+  loop.run();
+  EXPECT_EQ(net.counters().table_misses, 1u);
+  EXPECT_EQ(net.counters().packets_dropped, 1u);
+}
+
+TEST(Network, DropFaultSwallowsPacket) {
+  const flow::RuleSet rs = line_rules();
+  sim::EventLoop loop;
+  dataplane::Network net(rs, loop);
+  dataplane::FaultSpec f;
+  f.kind = dataplane::FaultKind::kDrop;
+  net.faults().add_fault(1, f);  // entry id 1 = switch 1's rule
+  int delivered = 0;
+  net.set_host_delivery_handler(
+      [&](flow::SwitchId, const dataplane::Packet&, sim::SimTime) {
+        ++delivered;
+      });
+  dataplane::Packet pkt;
+  pkt.header = ts("00110101");
+  net.packet_out(0, pkt);
+  loop.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.counters().faults_applied, 1u);
+}
+
+TEST(Network, ModifyFaultAltersHeader) {
+  const flow::RuleSet rs = line_rules();
+  sim::EventLoop loop;
+  dataplane::Network net(rs, loop);
+  dataplane::FaultSpec f;
+  f.kind = dataplane::FaultKind::kModify;
+  f.modify_set = ts("xxxxx111");  // corrupt host bits only: still routes
+  net.faults().add_fault(0, f);
+  hsa::TernaryString seen(8);
+  net.set_host_delivery_handler(
+      [&](flow::SwitchId, const dataplane::Packet& p, sim::SimTime) {
+        seen = p.header;
+        EXPECT_TRUE(p.tampered);
+      });
+  dataplane::Packet pkt;
+  pkt.header = ts("00110000");
+  net.packet_out(0, pkt);
+  loop.run();
+  EXPECT_EQ(seen.to_string(), "00110111");
+}
+
+TEST(Network, DetourSkipsIntermediateSwitch) {
+  const flow::RuleSet rs = line_rules();
+  sim::EventLoop loop;
+  dataplane::Network net(rs, loop);
+  dataplane::FaultSpec f;
+  f.kind = dataplane::FaultKind::kDetour;
+  f.detour_partner = 2;  // tunnel from switch 0 straight to switch 2
+  net.faults().add_fault(0, f);
+  std::vector<flow::SwitchId> trace;
+  net.set_host_delivery_handler(
+      [&](flow::SwitchId, const dataplane::Packet& p, sim::SimTime) {
+        trace = p.trace;
+      });
+  dataplane::Packet pkt;
+  pkt.header = ts("00110101");
+  net.packet_out(0, pkt);
+  loop.run();
+  // Switch 1 never saw the packet: the colluders bypassed it.
+  EXPECT_EQ(trace, (std::vector<flow::SwitchId>{0, 2}));
+}
+
+TEST(Network, IntermittentFaultRespectsWindows) {
+  const flow::RuleSet rs = line_rules();
+  sim::EventLoop loop;
+  dataplane::Network net(rs, loop);
+  dataplane::FaultSpec f;
+  f.kind = dataplane::FaultKind::kDrop;
+  f.intermittent = true;
+  f.period_s = 1.0;
+  f.duty_cycle = 0.5;  // active in [0, 0.5), inactive in [0.5, 1.0)
+  f.phase_s = 0.0;
+  net.faults().add_fault(0, f);
+  int delivered = 0;
+  net.set_host_delivery_handler(
+      [&](flow::SwitchId, const dataplane::Packet&, sim::SimTime) {
+        ++delivered;
+      });
+  dataplane::Packet pkt;
+  pkt.header = ts("00110101");
+  // Arrives at switch 0 at ~t+1ms+proc: schedule to land in each half.
+  loop.schedule_at(0.2, [&] { net.packet_out(0, pkt); });   // active: drop
+  loop.schedule_at(0.7, [&] { net.packet_out(0, pkt); });   // inactive: pass
+  loop.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Network, TargetingFaultHitsOnlyVictimHeaders) {
+  const flow::RuleSet rs = line_rules();
+  sim::EventLoop loop;
+  dataplane::Network net(rs, loop);
+  dataplane::FaultSpec f;
+  f.kind = dataplane::FaultKind::kDrop;
+  f.target = ts("0011xx11");  // only this sub-cube is affected
+  net.faults().add_fault(0, f);
+  int delivered = 0;
+  net.set_host_delivery_handler(
+      [&](flow::SwitchId, const dataplane::Packet&, sim::SimTime) {
+        ++delivered;
+      });
+  dataplane::Packet victim;
+  victim.header = ts("00110011");
+  dataplane::Packet bystander;
+  bystander.header = ts("00110000");
+  net.packet_out(0, victim);
+  net.packet_out(0, bystander);
+  loop.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Controller, TestPointReturnsProbeAndPreservesTraffic) {
+  const flow::RuleSet rs = line_rules();
+  sim::EventLoop loop;
+  dataplane::Network net(rs, loop);
+  controller::Controller ctrl(rs, net);
+
+  // Probe header vs. a normal packet sharing the terminal rule.
+  const auto probe_hdr = ts("00101010");
+  const auto tp = ctrl.install_test_point(/*terminal=*/2, probe_hdr);
+
+  int probe_returns = 0;
+  ctrl.set_probe_return_handler([&](std::uint64_t id, flow::SwitchId sw,
+                                    const dataplane::Packet& p, sim::SimTime) {
+    ++probe_returns;
+    EXPECT_EQ(id, 42u);
+    EXPECT_EQ(sw, 2);
+    EXPECT_TRUE(p.header == probe_hdr);
+  });
+  int host_deliveries = 0;
+  net.set_host_delivery_handler(
+      [&](flow::SwitchId, const dataplane::Packet&, sim::SimTime) {
+        ++host_deliveries;
+      });
+
+  dataplane::Packet probe;
+  probe.header = probe_hdr;
+  probe.probe_id = 42;
+  ctrl.send_packet(0, probe);
+  dataplane::Packet normal;
+  normal.header = ts("00110000");
+  ctrl.send_packet(0, normal);
+  loop.run();
+  EXPECT_EQ(probe_returns, 1);
+  EXPECT_EQ(host_deliveries, 1) << "normal traffic must be unaffected (§VI)";
+
+  // Teardown restores the original pipeline: the probe header now flows to
+  // the host like any packet.
+  ctrl.remove_test_point(tp);
+  ctrl.send_packet(0, probe);
+  loop.run();
+  EXPECT_EQ(probe_returns, 1);
+  EXPECT_EQ(host_deliveries, 2);
+}
+
+TEST(Controller, TestPointRefcountTwoProbesSameTerminal) {
+  const flow::RuleSet rs = line_rules();
+  sim::EventLoop loop;
+  dataplane::Network net(rs, loop);
+  controller::Controller ctrl(rs, net);
+  const auto tp1 = ctrl.install_test_point(2, ts("00101010"));
+  const auto tp2 = ctrl.install_test_point(2, ts("00101011"));
+  ctrl.remove_test_point(tp1);
+  // Second test point must still capture its probe.
+  int returns = 0;
+  ctrl.set_probe_return_handler(
+      [&](std::uint64_t, flow::SwitchId, const dataplane::Packet&,
+          sim::SimTime) { ++returns; });
+  dataplane::Packet probe;
+  probe.header = ts("00101011");
+  probe.probe_id = 1;
+  ctrl.send_packet(0, probe);
+  loop.run();
+  EXPECT_EQ(returns, 1);
+  ctrl.remove_test_point(tp2);
+}
+
+}  // namespace
+}  // namespace sdnprobe

@@ -1,0 +1,161 @@
+// Tests for flow tables, rulesets, the K-path synthesizer, and the campus
+// ruleset generator.
+#include <gtest/gtest.h>
+
+#include "flow/campus.h"
+#include "flow/synthesizer.h"
+#include "topo/generator.h"
+
+namespace sdnprobe::flow {
+namespace {
+
+hsa::TernaryString ts(const char* s) {
+  return *hsa::TernaryString::parse(s);
+}
+
+TEST(FlowTable, PriorityOrderedLookup) {
+  FlowTable t;
+  FlowEntry low;
+  low.id = 1;
+  low.priority = 10;
+  low.match = ts("001xxxxx");
+  FlowEntry high;
+  high.id = 2;
+  high.priority = 20;
+  high.match = ts("00100xxx");
+  t.insert(low);
+  t.insert(high);
+  // Inside the overlap, the higher priority wins.
+  const FlowEntry* hit = t.lookup(ts("00100101"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, 2);
+  // Outside it, the wider low-priority entry matches.
+  hit = t.lookup(ts("00111111"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, 1);
+  EXPECT_EQ(t.lookup(ts("11111111")), nullptr);
+}
+
+TEST(FlowTable, InputSpaceSubtractsOverlaps) {
+  FlowTable t;
+  FlowEntry low;
+  low.id = 1;
+  low.priority = 10;
+  low.match = ts("001xxxxx");
+  FlowEntry high;
+  high.id = 2;
+  high.priority = 20;
+  high.match = ts("00100xxx");
+  t.insert(low);
+  t.insert(high);
+  const hsa::HeaderSpace in = t.input_space(1);
+  EXPECT_FALSE(in.contains(ts("00100111")));
+  EXPECT_TRUE(in.contains(ts("00110000")));
+  // The higher-priority entry keeps its full match as input.
+  EXPECT_TRUE(t.input_space(2).contains(ts("00100111")));
+}
+
+TEST(FlowTable, EraseRemovesEntry) {
+  FlowTable t;
+  FlowEntry e;
+  e.id = 7;
+  e.priority = 5;
+  e.match = ts("xxxxxxxx");
+  t.insert(e);
+  EXPECT_TRUE(t.erase(7));
+  EXPECT_FALSE(t.erase(7));
+  EXPECT_EQ(t.lookup(ts("00000000")), nullptr);
+}
+
+TEST(PortMapTest, RoundTripPorts) {
+  topo::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const PortMap pm(g);
+  const auto p01 = pm.port_to(0, 1);
+  ASSERT_TRUE(p01.has_value());
+  EXPECT_EQ(pm.peer_of(0, *p01), 1);
+  EXPECT_FALSE(pm.port_to(0, 2).has_value());
+  // Host port is one past the neighbor ports.
+  EXPECT_FALSE(pm.peer_of(1, pm.host_port(1)).has_value());
+}
+
+class SynthesizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SynthesizerProperty, WellFormedRuleset) {
+  topo::GeneratorConfig tc;
+  tc.node_count = 14;
+  tc.link_count = 24;
+  tc.seed = GetParam();
+  const topo::Graph g = topo::make_rocketfuel_like(tc);
+  SynthesizerConfig sc;
+  sc.target_entry_count = 1500;
+  sc.seed = GetParam() * 3 + 1;
+  const RuleSet rs = synthesize_ruleset(g, sc);
+
+  // Entry count lands near the target (within one path length).
+  EXPECT_GE(rs.entry_count(), 1500u);
+  EXPECT_LE(rs.entry_count(), 1500u + 32u);
+
+  // Every output action refers to a real port (neighbor or host).
+  for (const auto& e : rs.entries()) {
+    ASSERT_EQ(e.action.type, ActionType::kOutput) << e.to_string();
+    const auto peer = rs.ports().peer_of(e.switch_id, e.action.out_port);
+    const bool is_host_port =
+        e.action.out_port == rs.ports().host_port(e.switch_id);
+    EXPECT_TRUE(peer.has_value() || is_host_port) << e.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesizerProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Synthesizer, AggregatesGiveEverySwitchADefaultRoute) {
+  topo::GeneratorConfig tc;
+  tc.node_count = 8;
+  tc.link_count = 12;
+  const topo::Graph g = topo::make_rocketfuel_like(tc);
+  SynthesizerConfig sc;
+  sc.target_entry_count = 200;
+  sc.aggregates = true;
+  const RuleSet rs = synthesize_ruleset(g, sc);
+  // For each destination d and switch u, some entry at u matches d-traffic.
+  for (SwitchId d = 0; d < 8; ++d) {
+    for (SwitchId u = 0; u < 8; ++u) {
+      hsa::TernaryString probe = hsa::TernaryString::wildcard(32);
+      for (int k = 0; k < 8; ++k) {
+        probe.set(k, (d >> (7 - k)) & 1 ? hsa::Trit::kOne : hsa::Trit::kZero);
+      }
+      for (int k = 8; k < 32; ++k) probe.set(k, hsa::Trit::kZero);
+      EXPECT_NE(rs.table(u, 0).lookup(probe), nullptr)
+          << "switch " << u << " dst " << d;
+    }
+  }
+}
+
+TEST(Campus, MatchesPaperShape) {
+  CampusConfig cc;  // defaults = paper values
+  const RuleSet rs = make_campus_ruleset(cc);
+  EXPECT_EQ(rs.table(0, 0).size(), 550u);
+  EXPECT_EQ(rs.table(1, 0).size(), 579u);
+  EXPECT_EQ(rs.max_overlap_chain(), 65);
+  // Every entry is reachable by some packet (non-empty input space).
+  for (const auto& e : rs.entries()) {
+    EXPECT_FALSE(rs.input_space(e.id).is_empty()) << e.to_string();
+  }
+}
+
+TEST(Campus, ConfigurableSizes) {
+  CampusConfig cc;
+  cc.entries_table0 = 40;
+  cc.entries_table1 = 55;
+  cc.max_overlap_chain = 12;
+  cc.header_width = 32;
+  const RuleSet rs = make_campus_ruleset(cc);
+  EXPECT_EQ(rs.table(0, 0).size(), 40u);
+  EXPECT_EQ(rs.table(1, 0).size(), 55u);
+  EXPECT_EQ(rs.max_overlap_chain(), 12);
+}
+
+}  // namespace
+}  // namespace sdnprobe::flow

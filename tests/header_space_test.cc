@@ -1,0 +1,145 @@
+// Unit + property tests for hsa::HeaderSpace: union/intersect/subtract
+// algebra, the set-identities the rule-graph construction relies on, and
+// randomized membership cross-checks against a brute-force oracle.
+#include "hsa/header_space.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sdnprobe::hsa {
+namespace {
+
+TernaryString ts(const char* s) { return *TernaryString::parse(s); }
+
+TEST(HeaderSpace, EmptyAndFull) {
+  EXPECT_TRUE(HeaderSpace::empty(8).is_empty());
+  const HeaderSpace full = HeaderSpace::full(8);
+  EXPECT_FALSE(full.is_empty());
+  EXPECT_TRUE(full.contains(ts("10110100")));
+}
+
+TEST(HeaderSpace, PaperRuleInputExample) {
+  // §V-A: c2.in = 001xxxxx - 00100xxx (c1 has higher priority).
+  const HeaderSpace in =
+      HeaderSpace(ts("001xxxxx")).subtract(ts("00100xxx"));
+  EXPECT_FALSE(in.is_empty());
+  EXPECT_TRUE(in.contains(ts("00101000")));
+  EXPECT_FALSE(in.contains(ts("00100111")));
+  // b2.out ∩ c2.in != ∅  (edge (b2, c2) exists).
+  EXPECT_FALSE(in.intersect(ts("0011xxxx")).is_empty());
+  // e2.in = 001xxxxx - 0010xxxx; c1.out = 00100xxx misses it (no edge).
+  const HeaderSpace e2_in =
+      HeaderSpace(ts("001xxxxx")).subtract(ts("0010xxxx"));
+  EXPECT_TRUE(e2_in.intersect(ts("00100xxx")).is_empty());
+}
+
+TEST(HeaderSpace, SubtractThenUnionRestores) {
+  const HeaderSpace a = HeaderSpace(ts("01xxxxxx"));
+  const TernaryString hole = ts("0110xxxx");
+  const HeaderSpace punched = a.subtract(hole);
+  EXPECT_FALSE(punched.contains(ts("01101111")));
+  const HeaderSpace restored = punched.union_with(HeaderSpace(hole));
+  EXPECT_TRUE(restored == a);
+}
+
+TEST(HeaderSpace, SubtractSelfIsEmpty) {
+  const HeaderSpace a = HeaderSpace(ts("0x1x0xxx"));
+  EXPECT_TRUE(a.subtract(a).is_empty());
+}
+
+TEST(HeaderSpace, SubtractDisjointIsIdentity) {
+  const HeaderSpace a = HeaderSpace(ts("01xxxxxx"));
+  EXPECT_TRUE(a.subtract(ts("10xxxxxx")) == a);
+}
+
+TEST(HeaderSpace, CubeDifferencePiecesAreDisjointAndExact) {
+  const TernaryString a = ts("0xxxxxxx");
+  const TernaryString b = ts("010x1xxx");
+  const auto pieces = cube_difference(a, b);
+  // Pairwise disjoint.
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(pieces[i].intersects(pieces[j]));
+    }
+  }
+  // No piece intersects b, and pieces ∪ (a ∩ b) == a.
+  util::Rng rng(5);
+  for (int it = 0; it < 256; ++it) {
+    const TernaryString h = a.sample(rng);
+    bool in_pieces = false;
+    for (const auto& p : pieces) in_pieces |= p.covers(h);
+    EXPECT_EQ(in_pieces, !b.covers(h)) << h.to_string();
+  }
+}
+
+TEST(HeaderSpace, TransformDistributesOverUnion) {
+  const TernaryString set = ts("1x0xxxxx");
+  const HeaderSpace u =
+      HeaderSpace(ts("00xxxxxx")).union_with(HeaderSpace(ts("11xxxxxx")));
+  const HeaderSpace t = u.transform(set);
+  EXPECT_TRUE(t.contains(ts("10011111").transform(set)));
+  // Everything in the transform has the set bits pinned.
+  util::Rng rng(9);
+  for (int i = 0; i < 64; ++i) {
+    const auto h = t.sample(rng);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->get(0), Trit::kOne);
+    EXPECT_EQ(h->get(2), Trit::kZero);
+  }
+}
+
+TEST(HeaderSpace, InverseTransformRoundTrip) {
+  const TernaryString set = ts("x1xx0xxx");
+  const HeaderSpace post = HeaderSpace(ts("0100xxxx"));
+  const HeaderSpace pre = post.inverse_transform(set);
+  util::Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    const auto h = pre.sample(rng);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_TRUE(post.contains(h->transform(set)));
+  }
+}
+
+TEST(HeaderSpace, SampleNulloptOnlyWhenEmpty) {
+  util::Rng rng(1);
+  EXPECT_FALSE(HeaderSpace::empty(8).sample(rng).has_value());
+  EXPECT_TRUE(HeaderSpace::full(8).sample(rng).has_value());
+}
+
+TEST(HeaderSpace, SimplifyRemovesSubsumedCubes) {
+  HeaderSpace u = HeaderSpace(ts("0xxxxxxx"));
+  u = u.union_with(HeaderSpace(ts("00xxxxxx")));  // subsumed
+  u = u.union_with(HeaderSpace(ts("01x1xxxx")));  // subsumed
+  EXPECT_EQ(u.cube_count(), 1u);
+}
+
+// Property: (A − B) ∩ B == ∅ and (A − B) ∪ (A ∩ B) == A, on random cubes.
+class SubtractProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubtractProperty, PartitionIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto random_cube = [&rng]() {
+    TernaryString t = TernaryString::wildcard(12);
+    for (int k = 0; k < 12; ++k) {
+      const int r = static_cast<int>(rng.next_below(3));
+      t.set(k, r == 0   ? Trit::kZero
+              : r == 1 ? Trit::kOne
+                       : Trit::kWild);
+    }
+    return t;
+  };
+  const HeaderSpace a = HeaderSpace(random_cube()).union_with(
+      HeaderSpace(random_cube()));
+  const TernaryString b = random_cube();
+  const HeaderSpace diff = a.subtract(b);
+  const HeaderSpace inter = a.intersect(b);
+  EXPECT_TRUE(diff.intersect(b).is_empty());
+  EXPECT_TRUE(diff.union_with(inter) == a);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCubes, SubtractProperty,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace sdnprobe::hsa

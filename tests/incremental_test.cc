@@ -1,0 +1,186 @@
+// Tests for incremental rule-graph maintenance (§VIII-C): applying
+// apply_entry_added() per new rule must leave the graph semantically
+// equivalent to a full rebuild — same active entries, same input spaces,
+// same edge relation — and MLPC on the updated graph must cover the new
+// rules.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/mlpc.h"
+#include "core/rule_graph.h"
+#include "flow/synthesizer.h"
+#include "topo/generator.h"
+
+namespace sdnprobe::core {
+namespace {
+
+hsa::TernaryString ts(const char* s) {
+  return *hsa::TernaryString::parse(s);
+}
+
+// Edge relation over entry-id pairs, active entries only.
+std::set<std::pair<flow::EntryId, flow::EntryId>> edge_relation(
+    const RuleGraph& g) {
+  std::set<std::pair<flow::EntryId, flow::EntryId>> edges;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (!g.is_active(v)) continue;
+    for (const VertexId w : g.successors(v)) {
+      edges.emplace(g.entry_of(v), g.entry_of(w));
+    }
+  }
+  return edges;
+}
+
+std::set<flow::EntryId> active_entries(const RuleGraph& g) {
+  std::set<flow::EntryId> ids;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.is_active(v)) ids.insert(g.entry_of(v));
+  }
+  return ids;
+}
+
+class IncrementalEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IncrementalEquivalence, MatchesFullRebuild) {
+  // Build a ruleset, hold back the last K entries, add them one by one.
+  topo::GeneratorConfig tc;
+  tc.node_count = 10;
+  tc.link_count = 16;
+  tc.seed = GetParam();
+  const topo::Graph topo = topo::make_rocketfuel_like(tc);
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = 500;
+  sc.seed = GetParam() * 5 + 3;
+  const flow::RuleSet full_rules = flow::synthesize_ruleset(topo, sc);
+  constexpr std::size_t kHoldBack = 40;
+  ASSERT_GT(full_rules.entry_count(), kHoldBack);
+
+  // Replay: a second RuleSet receiving the same entries in the same order.
+  flow::RuleSet incremental_rules(topo, full_rules.header_width());
+  const std::size_t prefix = full_rules.entry_count() - kHoldBack;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    flow::FlowEntry e = full_rules.entry(static_cast<flow::EntryId>(i));
+    e.id = -1;
+    incremental_rules.add_entry(std::move(e));
+  }
+  RuleGraph incremental(incremental_rules);
+  for (std::size_t i = prefix; i < full_rules.entry_count(); ++i) {
+    flow::FlowEntry e = full_rules.entry(static_cast<flow::EntryId>(i));
+    e.id = -1;
+    const flow::EntryId id = incremental_rules.add_entry(std::move(e));
+    incremental.apply_entry_added(id);
+  }
+
+  const RuleGraph rebuilt(full_rules);
+  EXPECT_EQ(active_entries(incremental), active_entries(rebuilt));
+  EXPECT_EQ(edge_relation(incremental), edge_relation(rebuilt));
+  EXPECT_EQ(incremental.edge_count(), rebuilt.edge_count());
+  // Input spaces agree semantically for every active entry.
+  for (const flow::EntryId id : active_entries(rebuilt)) {
+    const VertexId vi = incremental.vertex_for(id);
+    const VertexId vr = rebuilt.vertex_for(id);
+    ASSERT_GE(vi, 0);
+    ASSERT_GE(vr, 0);
+    EXPECT_TRUE(incremental.in_space(vi) == rebuilt.in_space(vr))
+        << "entry " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalence,
+                         ::testing::Values(1, 2, 3));
+
+TEST(Incremental, ShadowingDeactivatesAndUnshadowedStays) {
+  topo::Graph g(2);
+  g.add_edge(0, 1);
+  flow::RuleSet rs(g, 8);
+  const flow::PortId to1 = *rs.ports().port_to(0, 1);
+  flow::FlowEntry low;
+  low.switch_id = 0;
+  low.priority = 10;
+  low.match = ts("0010xxxx");
+  low.action = flow::Action::output(to1);
+  const flow::EntryId low_id = rs.add_entry(low);
+  flow::FlowEntry other;
+  other.switch_id = 0;
+  other.priority = 10;
+  other.match = ts("01xxxxxx");
+  other.action = flow::Action::output(to1);
+  const flow::EntryId other_id = rs.add_entry(other);
+
+  RuleGraph graph(rs);
+  ASSERT_TRUE(graph.is_active(graph.vertex_for(low_id)));
+
+  // A higher-priority rule that fully covers `low` deactivates it; `other`
+  // is untouched.
+  flow::FlowEntry shadow;
+  shadow.switch_id = 0;
+  shadow.priority = 20;
+  shadow.match = ts("001xxxxx");
+  shadow.action = flow::Action::drop();
+  const flow::EntryId shadow_id = rs.add_entry(shadow);
+  const VertexId vs = graph.apply_entry_added(shadow_id);
+  ASSERT_GE(vs, 0);
+  EXPECT_EQ(graph.vertex_for(low_id), -1);
+  EXPECT_NE(std::find(graph.dead_entries().begin(),
+                      graph.dead_entries().end(), low_id),
+            graph.dead_entries().end());
+  EXPECT_TRUE(graph.is_active(graph.vertex_for(other_id)));
+}
+
+TEST(Incremental, NewEdgesAppearForNewEntry) {
+  topo::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  flow::RuleSet rs(g, 8);
+  flow::FlowEntry a;
+  a.switch_id = 0;
+  a.priority = 10;
+  a.match = ts("001xxxxx");
+  a.action = flow::Action::output(*rs.ports().port_to(0, 1));
+  const flow::EntryId a_id = rs.add_entry(a);
+  RuleGraph graph(rs);
+  EXPECT_TRUE(graph.successors(graph.vertex_for(a_id)).empty());
+
+  // Add the downstream hop: an edge a -> b must appear.
+  flow::FlowEntry b;
+  b.switch_id = 1;
+  b.priority = 10;
+  b.match = ts("0010xxxx");
+  b.action = flow::Action::output(*rs.ports().port_to(1, 2));
+  const flow::EntryId b_id = rs.add_entry(b);
+  const VertexId vb = graph.apply_entry_added(b_id);
+  ASSERT_GE(vb, 0);
+  const auto& succ = graph.successors(graph.vertex_for(a_id));
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(graph.entry_of(succ[0]), b_id);
+  // And MLPC now stitches the two into one tested path.
+  const Cover cover = MlpcSolver().solve(graph);
+  EXPECT_EQ(cover.path_count(), 1u);
+  EXPECT_EQ(cover.paths[0].vertices.size(), 2u);
+}
+
+TEST(Incremental, DeadOnArrivalReturnsMinusOne) {
+  topo::Graph g(2);
+  g.add_edge(0, 1);
+  flow::RuleSet rs(g, 8);
+  flow::FlowEntry high;
+  high.switch_id = 0;
+  high.priority = 20;
+  high.match = ts("001xxxxx");
+  high.action = flow::Action::output(*rs.ports().port_to(0, 1));
+  rs.add_entry(high);
+  RuleGraph graph(rs);
+  flow::FlowEntry dead;
+  dead.switch_id = 0;
+  dead.priority = 10;
+  dead.match = ts("00101xxx");  // fully inside the existing higher-priority
+  dead.action = flow::Action::drop();
+  const flow::EntryId dead_id = rs.add_entry(dead);
+  EXPECT_EQ(graph.apply_entry_added(dead_id), -1);
+  EXPECT_EQ(graph.vertex_for(dead_id), -1);
+}
+
+}  // namespace
+}  // namespace sdnprobe::core

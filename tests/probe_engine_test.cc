@@ -1,0 +1,161 @@
+// Tests for probe synthesis: header legality and uniqueness, expected
+// return headers under set-field rewrites, and the traffic-profile sampler.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/mlpc.h"
+#include "core/probe_engine.h"
+#include "core/rule_graph.h"
+#include "core/traffic_profile.h"
+#include "flow/synthesizer.h"
+#include "topo/generator.h"
+
+namespace sdnprobe::core {
+namespace {
+
+hsa::TernaryString ts(const char* s) {
+  return *hsa::TernaryString::parse(s);
+}
+
+flow::RuleSet small_ruleset() {
+  topo::GeneratorConfig tc;
+  tc.node_count = 10;
+  tc.link_count = 16;
+  tc.seed = 3;
+  const topo::Graph g = topo::make_rocketfuel_like(tc);
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = 600;
+  sc.set_field_fraction = 0.2;  // plenty of rewrites to exercise transforms
+  sc.seed = 4;
+  return flow::synthesize_ruleset(g, sc);
+}
+
+TEST(ProbeEngine, HeadersAreUniqueAndLegal) {
+  const flow::RuleSet rs = small_ruleset();
+  RuleGraph graph(rs);
+  const Cover cover = MlpcSolver().solve(graph);
+  ProbeEngine engine(graph);
+  util::Rng rng(5);
+  const auto probes = engine.make_probes(cover, rng);
+  EXPECT_EQ(probes.size(), cover.path_count());
+  std::set<std::string> headers;
+  for (const auto& p : probes) {
+    EXPECT_TRUE(p.header.is_concrete());
+    // The header lies in the path's injectable space (matches every tested
+    // entry along the way).
+    EXPECT_TRUE(graph.path_input_space(p.path).contains(p.header))
+        << "illegal probe header";
+    EXPECT_TRUE(headers.insert(p.header.to_string()).second)
+        << "duplicate probe header violates §VI uniqueness";
+  }
+}
+
+TEST(ProbeEngine, ExpectedReturnAppliesUpstreamSetFields) {
+  // Two-switch chain where the first rule rewrites a host bit: the terminal
+  // must expect the rewritten header.
+  topo::Graph g(2);
+  g.add_edge(0, 1);
+  flow::RuleSet rs(g, 8);
+  flow::FlowEntry first;
+  first.switch_id = 0;
+  first.priority = 10;
+  first.match = ts("001xxxxx");
+  first.set_field = ts("xxxxxxx1");
+  first.action = flow::Action::output(*rs.ports().port_to(0, 1));
+  rs.add_entry(first);
+  flow::FlowEntry second;
+  second.switch_id = 1;
+  second.priority = 10;
+  second.match = ts("001xxxxx");
+  second.action = flow::Action::output(rs.ports().host_port(1));
+  rs.add_entry(second);
+
+  RuleGraph graph(rs);
+  ProbeEngine engine(graph);
+  util::Rng rng(1);
+  const auto probe =
+      engine.make_probe({graph.vertex_for(0), graph.vertex_for(1)}, rng);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_TRUE(probe->expected_return == probe->header.transform(ts("xxxxxxx1")));
+  EXPECT_EQ(probe->inject_switch, 0);
+  EXPECT_EQ(probe->terminal_entry, 1);
+}
+
+TEST(ProbeEngine, IllegalPathYieldsNoProbe) {
+  const flow::RuleSet rs = small_ruleset();
+  RuleGraph graph(rs);
+  ProbeEngine engine(graph);
+  util::Rng rng(2);
+  // Two unrelated vertices rarely form a legal path; find a genuinely
+  // illegal pair (no edge and disjoint spaces).
+  for (VertexId a = 0; a < graph.vertex_count(); ++a) {
+    for (VertexId b = 0; b < graph.vertex_count(); ++b) {
+      if (a == b) continue;
+      if (!graph.is_legal_path({a, b})) {
+        EXPECT_FALSE(engine.make_probe({a, b}, rng).has_value());
+        return;
+      }
+    }
+  }
+  FAIL() << "no illegal pair found (unexpected for this workload)";
+}
+
+TEST(ProbeEngine, ResetAllowsHeaderReuse) {
+  topo::Graph g(2);
+  g.add_edge(0, 1);
+  flow::RuleSet rs(g, 8);
+  flow::FlowEntry e;
+  e.switch_id = 0;
+  e.priority = 10;
+  e.match = ts("0010101x");  // tiny space: 2 headers
+  e.action = flow::Action::output(*rs.ports().port_to(0, 1));
+  rs.add_entry(e);
+  RuleGraph graph(rs);
+  ProbeEngine engine(graph);
+  util::Rng rng(1);
+  ASSERT_TRUE(engine.make_probe({0}, rng).has_value());
+  ASSERT_TRUE(engine.make_probe({0}, rng).has_value());
+  EXPECT_FALSE(engine.make_probe({0}, rng).has_value())
+      << "2-header space must exhaust after two unique probes";
+  engine.reset_uniqueness();
+  EXPECT_TRUE(engine.make_probe({0}, rng).has_value());
+}
+
+TEST(TrafficProfileTest, SampleBiasesTowardPopularCube) {
+  TrafficProfile profile;
+  const auto popular = ts("xxxx1111");
+  profile.add_flow(popular, 10.0);
+  util::Rng rng(9);
+  const hsa::HeaderSpace space = hsa::HeaderSpace::full(8);
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto h = profile.sample(space, rng);
+    ASSERT_TRUE(h.has_value());
+    if (popular.covers(*h)) ++hits;
+  }
+  EXPECT_GT(hits, 90) << "samples should come from the observed flow";
+}
+
+TEST(TrafficProfileTest, FallsBackWhenNoOverlap) {
+  TrafficProfile profile;
+  profile.add_flow(ts("1111xxxx"), 1.0);
+  util::Rng rng(9);
+  // The requested space is disjoint from every observed cube.
+  const hsa::HeaderSpace space(ts("0000xxxx"));
+  const auto h = profile.sample(space, rng);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(space.contains(*h));
+}
+
+TEST(TrafficProfileTest, PeriodSnapshotIsOneFlow) {
+  TrafficProfile profile;
+  profile.add_flow(ts("1111xxxx"), 1.0);
+  profile.add_flow(ts("0000xxxx"), 1.0);
+  util::Rng rng(4);
+  const TrafficProfile snap = profile.period_snapshot(rng);
+  EXPECT_EQ(snap.flow_count(), 1u);
+}
+
+}  // namespace
+}  // namespace sdnprobe::core

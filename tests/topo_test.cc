@@ -1,0 +1,138 @@
+// Tests for the topology module: graph invariants, Dijkstra, Yen's
+// K-shortest paths, and the ISP-like generator.
+#include "topo/generator.h"
+#include "topo/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdnprobe::topo {
+namespace {
+
+Graph diamond() {
+  // 0 - 1 - 3, 0 - 2 - 3, plus a slow direct 0 - 3.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.5);
+  g.add_edge(2, 3, 1.5);
+  g.add_edge(0, 3, 5.0);
+  return g;
+}
+
+TEST(Graph, RejectsSelfLoopsAndParallelEdges) {
+  Graph g(3);
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // undirected duplicate
+  EXPECT_FALSE(g.add_edge(0, 2, -1.0));
+  EXPECT_EQ(g.edge_count(), 1);
+}
+
+TEST(Graph, ShortestPathPicksCheapestRoute) {
+  const Graph g = diamond();
+  const Path p = g.shortest_path(0, 3);
+  ASSERT_EQ(p.nodes.size(), 3u);
+  EXPECT_EQ(p.nodes[1], 1);
+  EXPECT_DOUBLE_EQ(p.cost, 2.0);
+}
+
+TEST(Graph, ShortestPathUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.shortest_path(0, 2).empty());
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Graph, KShortestPathsOrderedAndLoopless) {
+  const Graph g = diamond();
+  const auto paths = g.k_shortest_paths(0, 3, 5);
+  ASSERT_EQ(paths.size(), 3u);  // only three loopless routes exist
+  EXPECT_DOUBLE_EQ(paths[0].cost, 2.0);
+  EXPECT_DOUBLE_EQ(paths[1].cost, 3.0);
+  EXPECT_DOUBLE_EQ(paths[2].cost, 5.0);
+  for (const auto& p : paths) {
+    const std::set<NodeId> uniq(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(uniq.size(), p.nodes.size()) << "loop in path";
+    EXPECT_EQ(p.nodes.front(), 0);
+    EXPECT_EQ(p.nodes.back(), 3);
+    // Consecutive nodes must actually be adjacent.
+    for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(p.nodes[i], p.nodes[i + 1]));
+    }
+  }
+}
+
+TEST(Graph, KShortestDistinct) {
+  const Graph g = diamond();
+  const auto paths = g.k_shortest_paths(0, 3, 3);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_FALSE(paths[i] == paths[j]);
+    }
+  }
+}
+
+// Generator property sweep: connectivity and exact link counts across
+// seeds and sizes (incl. the Table II presets).
+struct GenCase {
+  int nodes;
+  int links;
+  std::uint64_t seed;
+};
+
+class GeneratorProperty : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorProperty, ConnectedWithExactCounts) {
+  const GenCase c = GetParam();
+  GeneratorConfig cfg;
+  cfg.node_count = c.nodes;
+  cfg.link_count = c.links;
+  cfg.seed = c.seed;
+  const Graph g = make_rocketfuel_like(cfg);
+  EXPECT_EQ(g.node_count(), c.nodes);
+  EXPECT_EQ(g.edge_count(), c.links);
+  EXPECT_TRUE(g.is_connected());
+  for (const auto& e : g.edges()) {
+    EXPECT_GT(e.latency_s, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, GeneratorProperty,
+    ::testing::Values(GenCase{10, 15, 1}, GenCase{10, 15, 2},
+                      GenCase{30, 54, 1}, GenCase{30, 54, 7},
+                      GenCase{79, 147, 3}, GenCase{5, 10, 9},
+                      GenCase{2, 1, 1}, GenCase{40, 60, 11}));
+
+TEST(Generator, DeterministicPerSeed) {
+  GeneratorConfig cfg;
+  cfg.node_count = 20;
+  cfg.link_count = 36;
+  cfg.seed = 5;
+  const Graph a = make_rocketfuel_like(cfg);
+  const Graph b = make_rocketfuel_like(cfg);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (int i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edges()[static_cast<std::size_t>(i)].a,
+              b.edges()[static_cast<std::size_t>(i)].a);
+    EXPECT_EQ(a.edges()[static_cast<std::size_t>(i)].b,
+              b.edges()[static_cast<std::size_t>(i)].b);
+  }
+}
+
+TEST(Generator, TableTwoPresetsMatchPaper) {
+  const auto& presets = table_two_presets();
+  ASSERT_EQ(presets.size(), 5u);
+  EXPECT_EQ(presets[0].switches, 10);
+  EXPECT_EQ(presets[0].links, 15);
+  EXPECT_EQ(presets[0].rules, 4764);
+  EXPECT_EQ(presets[4].switches, 79);
+  EXPECT_EQ(presets[4].links, 147);
+  EXPECT_EQ(presets[4].rules, 358675);
+}
+
+}  // namespace
+}  // namespace sdnprobe::topo

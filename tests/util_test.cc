@@ -1,0 +1,141 @@
+// Tests for the utility layer: RNG determinism and distribution sanity,
+// streaming statistics, quantiles, and confusion-count arithmetic.
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sdnprobe::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowIsInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> buckets(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[static_cast<std::size_t>(v)];
+  }
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, kDraws / 10, kDraws / 100);  // within 10% relative
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.05);
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ForkGivesIndependentStream) {
+  Rng parent(1);
+  Rng child = parent.fork();
+  // The child's stream should not replicate the parent's next outputs.
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) differs |= (parent.next() != child.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Accumulator, MeanVarianceMinMax) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(SamplesTest, QuantilesInterpolate) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.9), 90.1, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(SamplesTest, AddAfterQuantileStillCorrect) {
+  Samples s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);  // forces a sort
+  s.add(0.5);                      // invalidates sortedness
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+}
+
+TEST(ConfusionCountsTest, RatesAndAccumulation) {
+  ConfusionCounts a{/*tp=*/3, /*fp=*/1, /*tn=*/5, /*fn=*/1};
+  EXPECT_DOUBLE_EQ(a.false_positive_rate(), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(a.false_negative_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(a.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(a.recall(), 0.75);
+  ConfusionCounts b{1, 0, 2, 0};
+  a += b;
+  EXPECT_EQ(a.true_positive, 4u);
+  EXPECT_EQ(a.true_negative, 7u);
+  // Degenerate denominators return 0 instead of NaN.
+  const ConfusionCounts empty;
+  EXPECT_DOUBLE_EQ(empty.false_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.false_negative_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace sdnprobe::util

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mlpc.dir/bench_ablation_mlpc.cc.o"
+  "CMakeFiles/bench_ablation_mlpc.dir/bench_ablation_mlpc.cc.o.d"
+  "bench_ablation_mlpc"
+  "bench_ablation_mlpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mlpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

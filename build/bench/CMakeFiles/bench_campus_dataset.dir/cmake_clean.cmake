@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_campus_dataset.dir/bench_campus_dataset.cc.o"
+  "CMakeFiles/bench_campus_dataset.dir/bench_campus_dataset.cc.o.d"
+  "bench_campus_dataset"
+  "bench_campus_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_campus_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

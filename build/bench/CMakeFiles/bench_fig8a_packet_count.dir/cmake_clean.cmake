@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_packet_count.dir/bench_fig8a_packet_count.cc.o"
+  "CMakeFiles/bench_fig8a_packet_count.dir/bench_fig8a_packet_count.cc.o.d"
+  "bench_fig8a_packet_count"
+  "bench_fig8a_packet_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_packet_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

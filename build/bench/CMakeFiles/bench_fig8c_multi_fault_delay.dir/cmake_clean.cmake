@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8c_multi_fault_delay.dir/bench_fig8c_multi_fault_delay.cc.o"
+  "CMakeFiles/bench_fig8c_multi_fault_delay.dir/bench_fig8c_multi_fault_delay.cc.o.d"
+  "bench_fig8c_multi_fault_delay"
+  "bench_fig8c_multi_fault_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_multi_fault_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

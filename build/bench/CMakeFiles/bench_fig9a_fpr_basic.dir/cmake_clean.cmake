@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_fpr_basic.dir/bench_fig9a_fpr_basic.cc.o"
+  "CMakeFiles/bench_fig9a_fpr_basic.dir/bench_fig9a_fpr_basic.cc.o.d"
+  "bench_fig9a_fpr_basic"
+  "bench_fig9a_fpr_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_fpr_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9b_fnr_detour.dir/bench_fig9b_fnr_detour.cc.o"
+  "CMakeFiles/bench_fig9b_fnr_detour.dir/bench_fig9b_fnr_detour.cc.o.d"
+  "bench_fig9b_fnr_detour"
+  "bench_fig9b_fnr_detour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_fnr_detour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

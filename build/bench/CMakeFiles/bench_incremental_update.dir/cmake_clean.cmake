@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_update.dir/bench_incremental_update.cc.o"
+  "CMakeFiles/bench_incremental_update.dir/bench_incremental_update.cc.o.d"
+  "bench_incremental_update"
+  "bench_incremental_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

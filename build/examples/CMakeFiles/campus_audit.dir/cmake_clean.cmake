@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_audit.dir/campus_audit.cpp.o"
+  "CMakeFiles/campus_audit.dir/campus_audit.cpp.o.d"
+  "campus_audit"
+  "campus_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detour_detection.dir/detour_detection.cpp.o"
+  "CMakeFiles/detour_detection.dir/detour_detection.cpp.o.d"
+  "detour_detection"
+  "detour_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detour_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

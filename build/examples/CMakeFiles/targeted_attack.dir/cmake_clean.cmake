@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targeted_attack.dir/targeted_attack.cpp.o"
+  "CMakeFiles/targeted_attack.dir/targeted_attack.cpp.o.d"
+  "targeted_attack"
+  "targeted_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targeted_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

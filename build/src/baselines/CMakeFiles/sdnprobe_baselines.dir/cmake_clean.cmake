@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnprobe_baselines.dir/atpg.cc.o"
+  "CMakeFiles/sdnprobe_baselines.dir/atpg.cc.o.d"
+  "CMakeFiles/sdnprobe_baselines.dir/per_rule.cc.o"
+  "CMakeFiles/sdnprobe_baselines.dir/per_rule.cc.o.d"
+  "CMakeFiles/sdnprobe_baselines.dir/round_runner.cc.o"
+  "CMakeFiles/sdnprobe_baselines.dir/round_runner.cc.o.d"
+  "libsdnprobe_baselines.a"
+  "libsdnprobe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnprobe_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

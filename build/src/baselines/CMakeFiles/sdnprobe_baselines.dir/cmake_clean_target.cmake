@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdnprobe_baselines.a"
+)

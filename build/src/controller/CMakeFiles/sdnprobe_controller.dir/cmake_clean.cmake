@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnprobe_controller.dir/controller.cc.o"
+  "CMakeFiles/sdnprobe_controller.dir/controller.cc.o.d"
+  "libsdnprobe_controller.a"
+  "libsdnprobe_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnprobe_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/legal_paths.cc" "src/core/CMakeFiles/sdnprobe_core.dir/legal_paths.cc.o" "gcc" "src/core/CMakeFiles/sdnprobe_core.dir/legal_paths.cc.o.d"
+  "/root/repo/src/core/localizer.cc" "src/core/CMakeFiles/sdnprobe_core.dir/localizer.cc.o" "gcc" "src/core/CMakeFiles/sdnprobe_core.dir/localizer.cc.o.d"
+  "/root/repo/src/core/mlpc.cc" "src/core/CMakeFiles/sdnprobe_core.dir/mlpc.cc.o" "gcc" "src/core/CMakeFiles/sdnprobe_core.dir/mlpc.cc.o.d"
+  "/root/repo/src/core/probe_engine.cc" "src/core/CMakeFiles/sdnprobe_core.dir/probe_engine.cc.o" "gcc" "src/core/CMakeFiles/sdnprobe_core.dir/probe_engine.cc.o.d"
+  "/root/repo/src/core/rule_graph.cc" "src/core/CMakeFiles/sdnprobe_core.dir/rule_graph.cc.o" "gcc" "src/core/CMakeFiles/sdnprobe_core.dir/rule_graph.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/sdnprobe_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/sdnprobe_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/traffic_profile.cc" "src/core/CMakeFiles/sdnprobe_core.dir/traffic_profile.cc.o" "gcc" "src/core/CMakeFiles/sdnprobe_core.dir/traffic_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/sdnprobe_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/sdnprobe_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/sdnprobe_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/sdnprobe_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/sdnprobe_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnprobe_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/sdnprobe_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdnprobe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

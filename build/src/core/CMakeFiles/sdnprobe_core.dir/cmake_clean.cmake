@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnprobe_core.dir/legal_paths.cc.o"
+  "CMakeFiles/sdnprobe_core.dir/legal_paths.cc.o.d"
+  "CMakeFiles/sdnprobe_core.dir/localizer.cc.o"
+  "CMakeFiles/sdnprobe_core.dir/localizer.cc.o.d"
+  "CMakeFiles/sdnprobe_core.dir/mlpc.cc.o"
+  "CMakeFiles/sdnprobe_core.dir/mlpc.cc.o.d"
+  "CMakeFiles/sdnprobe_core.dir/probe_engine.cc.o"
+  "CMakeFiles/sdnprobe_core.dir/probe_engine.cc.o.d"
+  "CMakeFiles/sdnprobe_core.dir/rule_graph.cc.o"
+  "CMakeFiles/sdnprobe_core.dir/rule_graph.cc.o.d"
+  "CMakeFiles/sdnprobe_core.dir/scenario.cc.o"
+  "CMakeFiles/sdnprobe_core.dir/scenario.cc.o.d"
+  "CMakeFiles/sdnprobe_core.dir/traffic_profile.cc.o"
+  "CMakeFiles/sdnprobe_core.dir/traffic_profile.cc.o.d"
+  "libsdnprobe_core.a"
+  "libsdnprobe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnprobe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/fault.cc" "src/dataplane/CMakeFiles/sdnprobe_dataplane.dir/fault.cc.o" "gcc" "src/dataplane/CMakeFiles/sdnprobe_dataplane.dir/fault.cc.o.d"
+  "/root/repo/src/dataplane/network.cc" "src/dataplane/CMakeFiles/sdnprobe_dataplane.dir/network.cc.o" "gcc" "src/dataplane/CMakeFiles/sdnprobe_dataplane.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/sdnprobe_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdnprobe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnprobe_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/sdnprobe_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/sdnprobe_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnprobe_dataplane.dir/fault.cc.o"
+  "CMakeFiles/sdnprobe_dataplane.dir/fault.cc.o.d"
+  "CMakeFiles/sdnprobe_dataplane.dir/network.cc.o"
+  "CMakeFiles/sdnprobe_dataplane.dir/network.cc.o.d"
+  "libsdnprobe_dataplane.a"
+  "libsdnprobe_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnprobe_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

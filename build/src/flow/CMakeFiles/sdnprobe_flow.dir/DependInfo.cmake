@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/campus.cc" "src/flow/CMakeFiles/sdnprobe_flow.dir/campus.cc.o" "gcc" "src/flow/CMakeFiles/sdnprobe_flow.dir/campus.cc.o.d"
+  "/root/repo/src/flow/entry.cc" "src/flow/CMakeFiles/sdnprobe_flow.dir/entry.cc.o" "gcc" "src/flow/CMakeFiles/sdnprobe_flow.dir/entry.cc.o.d"
+  "/root/repo/src/flow/ruleset.cc" "src/flow/CMakeFiles/sdnprobe_flow.dir/ruleset.cc.o" "gcc" "src/flow/CMakeFiles/sdnprobe_flow.dir/ruleset.cc.o.d"
+  "/root/repo/src/flow/synthesizer.cc" "src/flow/CMakeFiles/sdnprobe_flow.dir/synthesizer.cc.o" "gcc" "src/flow/CMakeFiles/sdnprobe_flow.dir/synthesizer.cc.o.d"
+  "/root/repo/src/flow/table.cc" "src/flow/CMakeFiles/sdnprobe_flow.dir/table.cc.o" "gcc" "src/flow/CMakeFiles/sdnprobe_flow.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsa/CMakeFiles/sdnprobe_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/sdnprobe_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnprobe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

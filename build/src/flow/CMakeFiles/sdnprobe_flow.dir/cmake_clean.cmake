@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnprobe_flow.dir/campus.cc.o"
+  "CMakeFiles/sdnprobe_flow.dir/campus.cc.o.d"
+  "CMakeFiles/sdnprobe_flow.dir/entry.cc.o"
+  "CMakeFiles/sdnprobe_flow.dir/entry.cc.o.d"
+  "CMakeFiles/sdnprobe_flow.dir/ruleset.cc.o"
+  "CMakeFiles/sdnprobe_flow.dir/ruleset.cc.o.d"
+  "CMakeFiles/sdnprobe_flow.dir/synthesizer.cc.o"
+  "CMakeFiles/sdnprobe_flow.dir/synthesizer.cc.o.d"
+  "CMakeFiles/sdnprobe_flow.dir/table.cc.o"
+  "CMakeFiles/sdnprobe_flow.dir/table.cc.o.d"
+  "libsdnprobe_flow.a"
+  "libsdnprobe_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnprobe_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnprobe_hsa.dir/header_space.cc.o"
+  "CMakeFiles/sdnprobe_hsa.dir/header_space.cc.o.d"
+  "CMakeFiles/sdnprobe_hsa.dir/ternary.cc.o"
+  "CMakeFiles/sdnprobe_hsa.dir/ternary.cc.o.d"
+  "libsdnprobe_hsa.a"
+  "libsdnprobe_hsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnprobe_hsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdnprobe_hsa.
+# This may be replaced when dependencies are built.

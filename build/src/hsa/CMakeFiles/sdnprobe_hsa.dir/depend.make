@@ -1,0 +1,2 @@
+# Empty dependencies file for sdnprobe_hsa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/header_encoder.cc" "src/sat/CMakeFiles/sdnprobe_sat.dir/header_encoder.cc.o" "gcc" "src/sat/CMakeFiles/sdnprobe_sat.dir/header_encoder.cc.o.d"
+  "/root/repo/src/sat/solver.cc" "src/sat/CMakeFiles/sdnprobe_sat.dir/solver.cc.o" "gcc" "src/sat/CMakeFiles/sdnprobe_sat.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsa/CMakeFiles/sdnprobe_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnprobe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnprobe_sat.dir/header_encoder.cc.o"
+  "CMakeFiles/sdnprobe_sat.dir/header_encoder.cc.o.d"
+  "CMakeFiles/sdnprobe_sat.dir/solver.cc.o"
+  "CMakeFiles/sdnprobe_sat.dir/solver.cc.o.d"
+  "libsdnprobe_sat.a"
+  "libsdnprobe_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnprobe_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnprobe_sim.dir/event_loop.cc.o"
+  "CMakeFiles/sdnprobe_sim.dir/event_loop.cc.o.d"
+  "libsdnprobe_sim.a"
+  "libsdnprobe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnprobe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnprobe_topo.dir/generator.cc.o"
+  "CMakeFiles/sdnprobe_topo.dir/generator.cc.o.d"
+  "CMakeFiles/sdnprobe_topo.dir/graph.cc.o"
+  "CMakeFiles/sdnprobe_topo.dir/graph.cc.o.d"
+  "libsdnprobe_topo.a"
+  "libsdnprobe_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnprobe_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

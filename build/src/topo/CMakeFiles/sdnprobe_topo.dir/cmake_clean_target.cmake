@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdnprobe_topo.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdnprobe_util.dir/logging.cc.o"
+  "CMakeFiles/sdnprobe_util.dir/logging.cc.o.d"
+  "CMakeFiles/sdnprobe_util.dir/rng.cc.o"
+  "CMakeFiles/sdnprobe_util.dir/rng.cc.o.d"
+  "CMakeFiles/sdnprobe_util.dir/stats.cc.o"
+  "CMakeFiles/sdnprobe_util.dir/stats.cc.o.d"
+  "libsdnprobe_util.a"
+  "libsdnprobe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdnprobe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

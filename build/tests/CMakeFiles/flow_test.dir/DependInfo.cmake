@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow_test.cc" "tests/CMakeFiles/flow_test.dir/flow_test.cc.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdnprobe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sdnprobe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/sdnprobe_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/sdnprobe_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/sdnprobe_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/sdnprobe_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/sdnprobe_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/sdnprobe_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdnprobe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdnprobe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/header_space_test.dir/header_space_test.cc.o"
+  "CMakeFiles/header_space_test.dir/header_space_test.cc.o.d"
+  "header_space_test"
+  "header_space_test.pdb"
+  "header_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/header_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

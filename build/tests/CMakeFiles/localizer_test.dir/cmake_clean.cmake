@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localizer_test.dir/localizer_test.cc.o"
+  "CMakeFiles/localizer_test.dir/localizer_test.cc.o.d"
+  "localizer_test"
+  "localizer_test.pdb"
+  "localizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

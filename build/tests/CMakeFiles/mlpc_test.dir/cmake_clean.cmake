@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpc_test.dir/mlpc_test.cc.o"
+  "CMakeFiles/mlpc_test.dir/mlpc_test.cc.o.d"
+  "mlpc_test"
+  "mlpc_test.pdb"
+  "mlpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

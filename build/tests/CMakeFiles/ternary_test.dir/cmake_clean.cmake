@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ternary_test.dir/ternary_test.cc.o"
+  "CMakeFiles/ternary_test.dir/ternary_test.cc.o.d"
+  "ternary_test"
+  "ternary_test.pdb"
+  "ternary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ternary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

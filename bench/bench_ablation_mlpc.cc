@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/analysis_snapshot.h"
 #include "core/legal_paths.h"
 #include "core/mlpc.h"
 
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
   spec.seed = 2;
   const bench::Workload w = bench::make_workload(spec);
   core::RuleGraph graph(w.rules);
+  const core::AnalysisSnapshot snap(graph);
   std::printf("workload: %zu rules, %d testable vertices\n\n",
               w.rules.entry_count(), graph.vertex_count());
 
@@ -90,14 +92,14 @@ int main(int argc, char** argv) {
     core::MlpcConfig greedy_only;
     greedy_only.deterministic_restarts = 1;
     greedy_only.search_budget = 1;  // cripples the DFS: near-pure greedy
-    const auto crippled = core::MlpcSolver(greedy_only).solve(graph);
+    const auto crippled = core::MlpcSolver(greedy_only).solve(snap);
 
     core::MlpcConfig single;
     single.deterministic_restarts = 1;
-    const auto one_pass = core::MlpcSolver(single).solve(graph);
+    const auto one_pass = core::MlpcSolver(single).solve(snap);
 
     core::MlpcConfig full_cfg;  // defaults: augmentation + 4 restarts
-    const auto best = core::MlpcSolver(full_cfg).solve(graph);
+    const auto best = core::MlpcSolver(full_cfg).solve(snap);
 
     std::printf("(b) probes: direct-successor greedy %zu; +DFS+augment %zu; "
                 "+best-of-%d restarts %zu\n",
@@ -117,7 +119,7 @@ int main(int argc, char** argv) {
         mc.randomized = true;
         mc.seed = seed;
         mc.stitch_accept_probability = accept;
-        const auto cover = core::MlpcSolver(mc).solve(graph);
+        const auto cover = core::MlpcSolver(mc).solve(snap);
         probes.add(static_cast<double>(cover.path_count()));
         for (const auto& p : cover.paths) terminals.insert(p.vertices.back());
       }

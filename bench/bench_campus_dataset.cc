@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "core/analysis_snapshot.h"
 #include "core/mlpc.h"
 #include "core/probe_engine.h"
 #include "flow/campus.h"
@@ -35,7 +36,8 @@ int main(int argc, char** argv) {
               build_timer.elapsed_millis());
 
   util::WallTimer mlpc_timer;
-  const core::Cover cover = core::MlpcSolver().solve(graph);
+  const core::AnalysisSnapshot snap(graph);
+  const core::Cover cover = core::MlpcSolver().solve(snap);
   std::printf("test packets (MLPC paths): %zu for %zu entries "
               "(paper: 600 for 1,129)\n",
               cover.path_count(), rs.entry_count());
@@ -70,7 +72,7 @@ int main(int argc, char** argv) {
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
   controller::Controller ctrl(rs, net);
-  core::ProbeEngine engine(graph);
+  core::ProbeEngine engine(snap);
   util::Rng rng(2);
   const auto probes = engine.make_probes(cover, rng);
   std::printf("probe synthesis: %zu probes, %llu by sampling, %llu by SAT\n",

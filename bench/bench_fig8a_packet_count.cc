@@ -10,6 +10,7 @@
 
 #include "baselines/atpg.h"
 #include "baselines/per_rule.h"
+#include "core/analysis_snapshot.h"
 #include "bench/bench_util.h"
 
 using namespace sdnprobe;
@@ -55,18 +56,19 @@ int main(int argc, char** argv) {
       spec.seed = static_cast<std::uint64_t>(s) + 1;
       const bench::Workload w = bench::make_workload(spec);
       core::RuleGraph graph(w.rules);
+      const core::AnalysisSnapshot snap(graph);
       sim::EventLoop loop;
       dataplane::Network net(w.rules, loop);
       controller::Controller ctrl(w.rules, net);
 
       core::LocalizerConfig lc;
-      core::FaultLocalizer det(graph, ctrl, loop, lc);
+      core::FaultLocalizer det(snap, ctrl, loop, lc);
       lc.randomized = true;
-      core::FaultLocalizer rnd(graph, ctrl, loop, lc);
+      core::FaultLocalizer rnd(snap, ctrl, loop, lc);
       baselines::AtpgConfig ac;
       ac.max_candidate_paths = atpg_pool_cap;
-      baselines::Atpg atpg(graph, ctrl, loop, ac);
-      baselines::PerRuleTest prt(graph, ctrl, loop);
+      baselines::Atpg atpg(snap, ctrl, loop, ac);
+      baselines::PerRuleTest prt(snap, ctrl, loop);
 
       const double sdn = static_cast<double>(det.initial_probe_count());
       const double rndc = static_cast<double>(rnd.initial_probe_count());

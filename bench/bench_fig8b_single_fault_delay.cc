@@ -9,6 +9,7 @@
 
 #include "baselines/atpg.h"
 #include "baselines/per_rule.h"
+#include "core/analysis_snapshot.h"
 #include "bench/bench_util.h"
 
 using namespace sdnprobe;
@@ -26,6 +27,7 @@ struct DelayRow {
 DelayRow run_case(const bench::Workload& w, std::uint64_t fault_seed) {
   DelayRow row;
   core::RuleGraph graph(w.rules);
+  const core::AnalysisSnapshot snap(graph);
 
   auto plant_one = [&](dataplane::Network& net) {
     util::Rng rng(fault_seed);
@@ -48,7 +50,7 @@ DelayRow run_case(const bench::Workload& w, std::uint64_t fault_seed) {
         core::LocalizerConfig lc;
         lc.randomized = (scheme == 1);
         lc.max_rounds = 64;
-        core::FaultLocalizer loc(graph, ctrl, loop, lc);
+        core::FaultLocalizer loc(snap, ctrl, loop, lc);
         rep = loc.run([truth](const core::DetectionReport& r) {
           return r.flagged(truth);  // stop as soon as localized
         });
@@ -56,13 +58,13 @@ DelayRow run_case(const bench::Workload& w, std::uint64_t fault_seed) {
         break;
       }
       case 2: {
-        baselines::Atpg atpg(graph, ctrl, loop);
+        baselines::Atpg atpg(snap, ctrl, loop);
         rep = atpg.run();
         row.atpg = rep.total_time_s;
         break;
       }
       case 3: {
-        baselines::PerRuleTest prt(graph, ctrl, loop);
+        baselines::PerRuleTest prt(snap, ctrl, loop);
         rep = prt.run();
         row.per_rule = rep.total_time_s;
         break;

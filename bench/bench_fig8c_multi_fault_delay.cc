@@ -10,6 +10,7 @@
 
 #include "baselines/atpg.h"
 #include "baselines/per_rule.h"
+#include "core/analysis_snapshot.h"
 #include "bench/bench_util.h"
 
 using namespace sdnprobe;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   spec.seed = 3;
   const bench::Workload w = bench::make_workload(spec);
   core::RuleGraph graph(w.rules);
+  const core::AnalysisSnapshot snap(graph);
   std::printf("topology: %d switches, %zu rules, %d testable\n\n",
               spec.switches, w.rules.entry_count(), graph.vertex_count());
 
@@ -55,7 +57,7 @@ int main(int argc, char** argv) {
           core::LocalizerConfig lc;
           lc.randomized = (scheme == 1);
           lc.max_rounds = 96;
-          core::FaultLocalizer loc(graph, ctrl, loop, lc);
+          core::FaultLocalizer loc(snap, ctrl, loop, lc);
           rep = loc.run([&truth](const core::DetectionReport& r) {
             for (const auto s : truth) {
               if (!r.flagged(s)) return false;
@@ -67,13 +69,13 @@ int main(int argc, char** argv) {
           break;
         }
         case 2: {
-          baselines::Atpg atpg(graph, ctrl, loop);
+          baselines::Atpg atpg(snap, ctrl, loop);
           rep = atpg.run();
           delays[scheme] = rep.total_time_s;
           break;
         }
         case 3: {
-          baselines::PerRuleTest prt(graph, ctrl, loop);
+          baselines::PerRuleTest prt(snap, ctrl, loop);
           rep = prt.run();
           delays[scheme] = rep.total_time_s;
           break;

@@ -11,6 +11,7 @@
 
 #include "baselines/atpg.h"
 #include "baselines/per_rule.h"
+#include "core/analysis_snapshot.h"
 #include "bench/bench_util.h"
 
 using namespace sdnprobe;
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   spec.seed = 11;
   const bench::Workload w = bench::make_chain_workload(spec);
   core::RuleGraph graph(w.rules);
+  const core::AnalysisSnapshot snap(graph);
   const int runs = full ? 10 : 3;
   std::printf("topology: %d switches, %zu rules; %d runs per point\n\n",
               spec.switches, w.rules.entry_count(), runs);
@@ -63,13 +65,13 @@ int main(int argc, char** argv) {
           core::LocalizerConfig lc;
           lc.randomized = (scheme == 1);
           lc.max_rounds = 96;
-          core::FaultLocalizer loc(graph, ctrl, loop, lc);
+          core::FaultLocalizer loc(snap, ctrl, loop, lc);
           rep = loc.run();
         } else if (scheme == 2) {
-          baselines::Atpg atpg(graph, ctrl, loop);
+          baselines::Atpg atpg(snap, ctrl, loop);
           rep = atpg.run();
         } else {
-          baselines::PerRuleTest prt(graph, ctrl, loop);
+          baselines::PerRuleTest prt(snap, ctrl, loop);
           rep = prt.run();
         }
         const auto score = core::score_detection(rep.flagged_switches, truth,

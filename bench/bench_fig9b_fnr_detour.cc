@@ -11,6 +11,7 @@
 
 #include "baselines/atpg.h"
 #include "baselines/per_rule.h"
+#include "core/analysis_snapshot.h"
 #include "bench/bench_util.h"
 
 using namespace sdnprobe;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   spec.seed = 5;
   const bench::Workload w = bench::make_workload(spec);
   core::RuleGraph graph(w.rules);
+  const core::AnalysisSnapshot snap(graph);
   const int runs = full ? 10 : 3;
   const int randomized_round_budget = full ? 160 : 100;
   std::printf("topology: %d switches, %zu rules; %d runs per point\n\n",
@@ -60,7 +62,7 @@ int main(int argc, char** argv) {
           lc.max_rounds = scheme == 1 ? randomized_round_budget : 8;
           lc.quiet_full_rounds_to_stop =
               scheme == 1 ? randomized_round_budget : 1;
-          core::FaultLocalizer loc(graph, ctrl, loop, lc);
+          core::FaultLocalizer loc(snap, ctrl, loop, lc);
           rep = loc.run([&truth](const core::DetectionReport& r) {
             for (const auto s : truth) {
               if (!r.flagged(s)) return false;
@@ -68,10 +70,10 @@ int main(int argc, char** argv) {
             return true;
           });
         } else if (scheme == 2) {
-          baselines::Atpg atpg(graph, ctrl, loop);
+          baselines::Atpg atpg(snap, ctrl, loop);
           rep = atpg.run();
         } else {
-          baselines::PerRuleTest prt(graph, ctrl, loop);
+          baselines::PerRuleTest prt(snap, ctrl, loop);
           rep = prt.run();
         }
         const auto score = core::score_detection(rep.flagged_switches, truth,

@@ -9,6 +9,7 @@
 
 #include "baselines/atpg.h"
 #include "baselines/per_rule.h"
+#include "core/analysis_snapshot.h"
 #include "bench/bench_util.h"
 
 using namespace sdnprobe;
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   spec.seed = 9;
   const bench::Workload w = bench::make_workload(spec);
   core::RuleGraph graph(w.rules);
+  const core::AnalysisSnapshot snap(graph);
 
   sim::EventLoop loop;
   dataplane::Network net(w.rules, loop);
@@ -58,7 +60,7 @@ int main(int argc, char** argv) {
     n2.faults() = net.faults();
     core::LocalizerConfig lc;
     lc.max_rounds = 8;
-    core::FaultLocalizer det(graph, c2, l2, lc);
+    core::FaultLocalizer det(snap, c2, l2, lc);
     const auto rep = det.run();
     std::printf("SDNProbe (deterministic): FNR plateau %.1f%% after %.1fs\n",
                 fnr_of(rep) * 100.0, rep.total_time_s);
@@ -68,7 +70,7 @@ int main(int argc, char** argv) {
     dataplane::Network n2(w.rules, l2);
     controller::Controller c2(w.rules, n2);
     n2.faults() = net.faults();
-    baselines::Atpg atpg(graph, c2, l2);
+    baselines::Atpg atpg(snap, c2, l2);
     const auto rep = atpg.run();
     std::printf("ATPG: FNR plateau %.1f%% after %.1fs\n", fnr_of(rep) * 100.0,
                 rep.total_time_s);
@@ -78,7 +80,7 @@ int main(int argc, char** argv) {
     dataplane::Network n2(w.rules, l2);
     controller::Controller c2(w.rules, n2);
     n2.faults() = net.faults();
-    baselines::PerRuleTest prt(graph, c2, l2);
+    baselines::PerRuleTest prt(snap, c2, l2);
     const auto rep = prt.run();
     std::printf("Per-rule: FNR plateau %.1f%% after %.1fs\n",
                 fnr_of(rep) * 100.0, rep.total_time_s);
@@ -91,7 +93,7 @@ int main(int argc, char** argv) {
   lc.randomized = true;
   lc.max_rounds = full ? 400 : 200;
   lc.quiet_full_rounds_to_stop = lc.max_rounds;
-  core::FaultLocalizer loc(graph, ctrl, loop, lc);
+  core::FaultLocalizer loc(snap, ctrl, loop, lc);
   double last_fnr = 1.0;
   double zero_time = -1.0;
   const auto rep = loc.run([&](const core::DetectionReport& r) {

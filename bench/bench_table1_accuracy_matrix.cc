@@ -17,6 +17,7 @@
 
 #include "baselines/atpg.h"
 #include "baselines/per_rule.h"
+#include "core/analysis_snapshot.h"
 #include "bench/bench_util.h"
 
 using namespace sdnprobe;
@@ -30,8 +31,10 @@ struct CellResult {
   double fpr = 0, fnr = 0;
 };
 
-CellResult run_cell(const bench::Workload& w, const core::RuleGraph& graph,
-                    Scenario sc, int scheme, int runs, int round_budget) {
+CellResult run_cell(const bench::Workload& w,
+                    const core::AnalysisSnapshot& snap, Scenario sc,
+                    int scheme, int runs, int round_budget) {
+  const core::RuleGraph& graph = snap.graph();
   util::Samples fpr, fnr;
   for (int run = 0; run < runs; ++run) {
     sim::EventLoop loop;
@@ -87,7 +90,7 @@ CellResult run_cell(const bench::Workload& w, const core::RuleGraph& graph,
       lc.max_rounds = scheme == 1 ? round_budget : (sustained ? 300 : 24);
       lc.quiet_full_rounds_to_stop =
           scheme == 1 ? round_budget : (sustained ? 40 : 2);
-      core::FaultLocalizer loc(graph, ctrl, loop, lc);
+      core::FaultLocalizer loc(snap, ctrl, loop, lc);
       rep = loc.run([&truth](const core::DetectionReport& r) {
         for (const auto s : truth) {
           if (!r.flagged(s)) return false;
@@ -95,10 +98,10 @@ CellResult run_cell(const bench::Workload& w, const core::RuleGraph& graph,
         return true;
       });
     } else if (scheme == 3) {
-      baselines::Atpg atpg(graph, ctrl, loop);
+      baselines::Atpg atpg(snap, ctrl, loop);
       rep = atpg.run();
     } else {
-      baselines::PerRuleTest prt(graph, ctrl, loop);
+      baselines::PerRuleTest prt(snap, ctrl, loop);
       rep = prt.run();
     }
     const auto score = core::score_detection(rep.flagged_switches, truth,
@@ -138,6 +141,7 @@ int main(int argc, char** argv) {
   spec.seed = 4;
   const bench::Workload w = bench::make_workload(spec);
   core::RuleGraph graph(w.rules);
+  const core::AnalysisSnapshot snap(graph);
   const int runs = full ? 5 : 2;
   const int round_budget = full ? 200 : 120;
 
@@ -155,7 +159,7 @@ int main(int argc, char** argv) {
   for (const auto& [sc, name] : scenarios) {
     std::printf("%-20s", name);
     for (int scheme = 0; scheme < 4; ++scheme) {
-      const CellResult c = run_cell(w, graph, sc, scheme, runs, round_budget);
+      const CellResult c = run_cell(w, snap, sc, scheme, runs, round_budget);
       const int width[4] = {10, 11, 9, 12};
       std::printf(" %-*s", width[scheme], verdict(c).c_str());
     }

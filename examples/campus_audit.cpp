@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/localizer.h"
 #include "core/mlpc.h"
 #include "core/probe_engine.h"
@@ -27,7 +28,8 @@ int main() {
 
   util::WallTimer precompute;
   core::RuleGraph graph(rules);
-  const core::Cover cover = core::MlpcSolver().solve(graph);
+  const core::AnalysisSnapshot snap(graph);
+  const core::Cover cover = core::MlpcSolver().solve(snap);
   std::printf("audit plan: %zu probes for %d testable entries "
               "(pre-computed in %.0f ms)\n",
               cover.path_count(), graph.vertex_count(),
@@ -40,7 +42,7 @@ int main() {
     controller::Controller ctrl(rules, net);
     core::LocalizerConfig lc;
     lc.max_rounds = 4;
-    core::FaultLocalizer audit(graph, ctrl, loop, lc);
+    core::FaultLocalizer audit(snap, ctrl, loop, lc);
     const auto report = audit.run();
     std::printf("clean audit: %zu probes, %zu flagged switches "
                 "(expected 0), %.2f s\n",
@@ -72,7 +74,7 @@ int main() {
                 "%d higher-priority rules\n",
                 victim, rules.entry(victim).switch_id, best_chain);
 
-    core::FaultLocalizer localizer(graph, ctrl, loop);
+    core::FaultLocalizer localizer(snap, ctrl, loop);
     const auto report = localizer.run();
     std::printf("localization: %d rounds, %.2f s, flagged:", report.rounds,
                 report.total_time_s);

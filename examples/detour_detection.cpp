@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/localizer.h"
 #include "core/rule_graph.h"
 #include "core/scenario.h"
@@ -30,6 +31,7 @@ int main() {
   sc.seed = 5;
   const flow::RuleSet rules = flow::synthesize_ruleset(topology, sc);
   core::RuleGraph graph(rules);
+  const core::AnalysisSnapshot snap(graph);
 
   // Plant colluding detours: each faulty entry tunnels its matching packets
   // to a switch at least two rule-hops downstream.
@@ -48,7 +50,7 @@ int main() {
     const auto truth = net.faulty_switches();
     core::LocalizerConfig lc;
     lc.max_rounds = 16;
-    core::FaultLocalizer loc(graph, ctrl, loop, lc);
+    core::FaultLocalizer loc(snap, ctrl, loop, lc);
     const auto report = loc.run();
     const auto score = core::score_detection(report.flagged_switches, truth,
                                              rules.switch_count());
@@ -69,7 +71,7 @@ int main() {
     lc.randomized = true;
     lc.max_rounds = 200;
     lc.quiet_full_rounds_to_stop = 200;
-    core::FaultLocalizer loc(graph, ctrl, loop, lc);
+    core::FaultLocalizer loc(snap, ctrl, loop, lc);
     const auto report = loc.run([&truth](const core::DetectionReport& r) {
       for (const auto s : truth) {
         if (!r.flagged(s)) return false;

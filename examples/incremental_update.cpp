@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/localizer.h"
 #include "core/mlpc.h"
 #include "core/probe_engine.h"
@@ -69,8 +70,11 @@ int main() {
     return 1;
   }
 
-  // Verify just the new rule: a probe along a legal path through it.
-  core::ProbeEngine engine(graph);
+  // Verify just the new rule: a probe along a legal path through it. The
+  // analysis snapshot is taken *after* the incremental update — snapshots
+  // are immutable and never see later graph mutations.
+  const core::AnalysisSnapshot snap(graph);
+  core::ProbeEngine engine(snap);
   util::Rng rng(3);
   const auto probe = engine.make_probe({v}, rng);
   if (!probe.has_value()) {
@@ -94,7 +98,7 @@ int main() {
               verified ? "verified working" : "NOT verified");
 
   // The monitoring cover picks up the new rule on its next regeneration.
-  const core::Cover cover = core::MlpcSolver().solve(graph);
+  const core::Cover cover = core::MlpcSolver().solve(snap);
   bool covered = false;
   for (const auto& p : cover.paths) {
     for (const auto pv : p.vertices) covered |= (pv == v);

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/localizer.h"
 #include "core/mlpc.h"
 #include "core/rule_graph.h"
@@ -42,7 +43,8 @@ int main() {
               graph.vertex_count(), graph.edge_count(),
               graph.is_acyclic() ? "yes" : "NO");
 
-  const core::Cover cover = core::MlpcSolver().solve(graph);
+  const core::AnalysisSnapshot snap(graph);
+  const core::Cover cover = core::MlpcSolver().solve(snap);
   std::printf("minimum legal path cover: %zu test packets cover every rule "
               "(vs %d per-rule probes)\n",
               cover.path_count(), graph.vertex_count());
@@ -62,7 +64,7 @@ int main() {
               culprit);
 
   // --- 4. Localize. ---
-  core::FaultLocalizer localizer(graph, ctrl, loop);
+  core::FaultLocalizer localizer(snap, ctrl, loop);
   const core::DetectionReport report = localizer.run();
 
   std::printf("detection: %d rounds, %zu probes, %.2f simulated seconds\n",

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/localizer.h"
 #include "core/rule_graph.h"
 #include "core/scenario.h"
@@ -28,6 +29,7 @@ int main() {
   sc.seed = 5;
   const flow::RuleSet rules = flow::synthesize_ruleset(topology, sc);
   core::RuleGraph graph(rules);
+  const core::AnalysisSnapshot snap(graph);
 
   // The elephant flows crossing this network — and the attacker aims at one.
   util::Rng rng(7);
@@ -56,7 +58,7 @@ int main() {
     lc.profile = &traffic.profile;  // header randomization source (§V-C)
     lc.max_rounds = randomized ? 250 : 12;
     lc.quiet_full_rounds_to_stop = randomized ? 250 : 2;
-    core::FaultLocalizer loc(graph, ctrl, loop, lc);
+    core::FaultLocalizer loc(snap, ctrl, loop, lc);
     const auto report = loc.run([&truth](const core::DetectionReport& r) {
       for (const auto s : truth) {
         if (!r.flagged(s)) return false;

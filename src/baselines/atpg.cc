@@ -11,13 +11,15 @@
 
 namespace sdnprobe::baselines {
 
-Atpg::Atpg(const core::RuleGraph& graph, controller::Controller& ctrl,
-           sim::EventLoop& loop, AtpgConfig config)
-    : graph_(&graph),
+Atpg::Atpg(const core::AnalysisSnapshot& snapshot,
+           controller::Controller& ctrl, sim::EventLoop& loop,
+           AtpgConfig config)
+    : snapshot_(&snapshot),
+      graph_(&snapshot.graph()),
       ctrl_(&ctrl),
       loop_(&loop),
       config_(config),
-      engine_(graph),
+      engine_(snapshot),
       rng_(config.seed) {}
 
 void Atpg::generate() {
@@ -93,7 +95,7 @@ core::DetectionReport Atpg::run() {
   }
   report.probes_sent += probes.size();
   std::vector<bool> failed =
-      run_probe_round(*graph_, *ctrl_, *loop_, probes, params, next_id);
+      run_probe_round(*snapshot_, *ctrl_, *loop_, probes, params, next_id);
   report.rounds = 1;
 
   // Failing paths as switch sets.
@@ -181,7 +183,7 @@ core::DetectionReport Atpg::run() {
     if (extra.empty()) break;
     report.probes_sent += extra.size();
     std::vector<bool> extra_failed =
-        run_probe_round(*graph_, *ctrl_, *loop_, extra, params, next_id);
+        run_probe_round(*snapshot_, *ctrl_, *loop_, extra, params, next_id);
     ++report.rounds;
     for (std::size_t i = 0; i < extra.size(); ++i) {
       record_outcome(extra[i], extra_failed[i]);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/localizer.h"
 #include "core/probe_engine.h"
 #include "core/rule_graph.h"
@@ -42,7 +43,7 @@ struct AtpgConfig {
 
 class Atpg {
  public:
-  Atpg(const core::RuleGraph& graph, controller::Controller& ctrl,
+  Atpg(const core::AnalysisSnapshot& snapshot, controller::Controller& ctrl,
        sim::EventLoop& loop, AtpgConfig config = {});
 
   // Greedy-MSC test packet count (generation only; Fig. 8(a)).
@@ -58,6 +59,7 @@ class Atpg {
   std::vector<std::size_t> send_round(std::vector<core::Probe>& probes,
                                       core::DetectionReport& report);
 
+  const core::AnalysisSnapshot* snapshot_;
   const core::RuleGraph* graph_;
   controller::Controller* ctrl_;
   sim::EventLoop* loop_;

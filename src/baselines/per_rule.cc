@@ -7,14 +7,15 @@
 
 namespace sdnprobe::baselines {
 
-PerRuleTest::PerRuleTest(const core::RuleGraph& graph,
+PerRuleTest::PerRuleTest(const core::AnalysisSnapshot& snapshot,
                          controller::Controller& ctrl, sim::EventLoop& loop,
                          PerRuleConfig config)
-    : graph_(&graph),
+    : snapshot_(&snapshot),
+      graph_(&snapshot.graph()),
       ctrl_(&ctrl),
       loop_(&loop),
       config_(config),
-      engine_(graph),
+      engine_(snapshot),
       rng_(config.seed) {}
 
 core::DetectionReport PerRuleTest::run() {
@@ -66,7 +67,7 @@ core::DetectionReport PerRuleTest::run() {
   std::uint64_t next_id = 1u << 20;
   report.probes_sent = probes.size();
   const std::vector<bool> failed =
-      run_probe_round(*graph_, *ctrl_, *loop_, probes, params, next_id);
+      run_probe_round(*snapshot_, *ctrl_, *loop_, probes, params, next_id);
   report.rounds = 1;
 
   // Blame the three switches of every failing probe, then exonerate a

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/localizer.h"
 #include "core/probe_engine.h"
 #include "core/rule_graph.h"
@@ -28,8 +29,9 @@ struct PerRuleConfig {
 
 class PerRuleTest {
  public:
-  PerRuleTest(const core::RuleGraph& graph, controller::Controller& ctrl,
-              sim::EventLoop& loop, PerRuleConfig config = {});
+  PerRuleTest(const core::AnalysisSnapshot& snapshot,
+              controller::Controller& ctrl, sim::EventLoop& loop,
+              PerRuleConfig config = {});
 
   // One probe per testable rule.
   std::size_t probe_count() const {
@@ -39,6 +41,7 @@ class PerRuleTest {
   core::DetectionReport run();
 
  private:
+  const core::AnalysisSnapshot* snapshot_;
   const core::RuleGraph* graph_;
   controller::Controller* ctrl_;
   sim::EventLoop* loop_;

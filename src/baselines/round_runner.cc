@@ -4,7 +4,7 @@
 
 namespace sdnprobe::baselines {
 
-std::vector<bool> run_probe_round(const core::RuleGraph& graph,
+std::vector<bool> run_probe_round(const core::AnalysisSnapshot& snapshot,
                                   controller::Controller& ctrl,
                                   sim::EventLoop& loop,
                                   const std::vector<core::Probe>& probes,
@@ -37,7 +37,7 @@ std::vector<bool> run_probe_round(const core::RuleGraph& graph,
         const core::Probe& p = probes[it->second];
         st.returned = true;
         const flow::SwitchId expect_sw =
-            graph.rules().entry(p.terminal_entry).switch_id;
+            snapshot.rules().entry(p.terminal_entry).switch_id;
         if (from != expect_sw || !(pk.header == p.expected_return)) {
           st.mismatched = true;
         }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/probe_engine.h"
 #include "core/rule_graph.h"
 #include "sim/event_loop.h"
@@ -22,7 +23,7 @@ struct RoundParams {
 // Runs one send/collect round. failed[i] is true when probes[i] did not
 // return or returned altered. `next_correlation_id` is advanced so stale
 // returns from earlier rounds are never miscounted.
-std::vector<bool> run_probe_round(const core::RuleGraph& graph,
+std::vector<bool> run_probe_round(const core::AnalysisSnapshot& snapshot,
                                   controller::Controller& ctrl,
                                   sim::EventLoop& loop,
                                   const std::vector<core::Probe>& probes,

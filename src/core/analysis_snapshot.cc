@@ -1,0 +1,44 @@
+#include "core/analysis_snapshot.h"
+
+#include <algorithm>
+
+namespace sdnprobe::core {
+namespace {
+
+std::vector<std::vector<VertexId>> build_fanin_order(const RuleGraph& g) {
+  const int V = g.vertex_count();
+  std::vector<std::vector<VertexId>> ordered(static_cast<std::size_t>(V));
+  for (VertexId v = 0; v < V; ++v) {
+    std::vector<VertexId> succ = g.successors(v);
+    std::stable_sort(succ.begin(), succ.end(), [&g](VertexId a, VertexId b) {
+      return g.predecessors(a).size() < g.predecessors(b).size();
+    });
+    ordered[static_cast<std::size_t>(v)] = std::move(succ);
+  }
+  return ordered;
+}
+
+}  // namespace
+
+AnalysisSnapshot::AnalysisSnapshot(const RuleGraph& graph)
+    : graph_(&graph),
+      full_(hsa::HeaderSpace::full(graph.rules().header_width())),
+      succ_by_fanin_(build_fanin_order(graph)),
+      closure_(std::make_unique<ClosureCache>()) {}
+
+AnalysisSnapshot AnalysisSnapshot::build(const flow::RuleSet& rules) {
+  auto owned = std::make_shared<const RuleGraph>(rules);
+  AnalysisSnapshot snapshot(*owned);
+  snapshot.owned_ = std::move(owned);
+  return snapshot;
+}
+
+const std::vector<std::vector<VertexId>>& AnalysisSnapshot::legal_closure(
+    std::size_t max_paths_per_vertex) const {
+  std::call_once(closure_->once, [this, max_paths_per_vertex] {
+    closure_->edges = graph_->closure_edges(max_paths_per_vertex);
+  });
+  return closure_->edges;
+}
+
+}  // namespace sdnprobe::core

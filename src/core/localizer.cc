@@ -13,14 +13,20 @@ bool DetectionReport::flagged(flow::SwitchId s) const {
                             s);
 }
 
-FaultLocalizer::FaultLocalizer(const RuleGraph& graph,
+FaultLocalizer::FaultLocalizer(const AnalysisSnapshot& snapshot,
                                controller::Controller& ctrl,
                                sim::EventLoop& loop, LocalizerConfig config)
-    : graph_(&graph),
+    : snapshot_(&snapshot),
+      graph_(&snapshot.graph()),
       ctrl_(&ctrl),
       loop_(&loop),
       config_(config),
-      engine_(graph),
+      pool_(util::ThreadPool::resolve_thread_count(config.threads) > 1
+                ? std::make_unique<util::ThreadPool>(
+                      util::ThreadPool::resolve_thread_count(config.threads))
+                : nullptr),
+      engine_(snapshot, ProbeEngineConfig{.threads = config.threads},
+              pool_.get()),
       rng_(config.seed) {}
 
 void FaultLocalizer::charge_wall_time(double seconds) {
@@ -36,7 +42,8 @@ std::vector<Probe> FaultLocalizer::generate_full_cover() {
       MlpcConfig mc;
       mc.randomized = false;
       mc.search_budget = config_.mlpc_search_budget;
-      const Cover cover = MlpcSolver(mc).solve(*graph_);
+      mc.threads = config_.threads;
+      const Cover cover = MlpcSolver(mc, pool_.get()).solve(*snapshot_);
       fixed_probes_ = engine_.make_probes(cover, rng_, nullptr);
       fixed_ready_ = true;
       charge_wall_time(timer.elapsed_seconds());
@@ -51,7 +58,8 @@ std::vector<Probe> FaultLocalizer::generate_full_cover() {
   mc.randomized = true;
   mc.seed = rng_.next();
   mc.search_budget = config_.mlpc_search_budget;
-  const Cover cover = MlpcSolver(mc).solve(*graph_);
+  mc.threads = config_.threads;
+  const Cover cover = MlpcSolver(mc, pool_.get()).solve(*snapshot_);
   engine_.reset_uniqueness();
   if (config_.profile && !config_.profile->empty()) {
     period_profile_ = config_.profile->period_snapshot(rng_);

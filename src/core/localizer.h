@@ -18,15 +18,18 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/mlpc.h"
 #include "core/probe_engine.h"
 #include "core/rule_graph.h"
 #include "core/traffic_profile.h"
 #include "sim/event_loop.h"
+#include "util/thread_pool.h"
 
 namespace sdnprobe::core {
 
@@ -73,6 +76,10 @@ struct LocalizerConfig {
   bool charge_generation_time = true;
   // MLPC search budget (see MlpcConfig).
   std::size_t mlpc_search_budget = 4096;
+  // Worker threads shared by cover (re)generation and probe construction
+  // (0 = hardware_concurrency, 1 = serial). Results are identical for any
+  // value; the localizer owns one pool and reuses it across rounds.
+  int threads = 1;
 };
 
 struct RoundRecord {
@@ -103,8 +110,9 @@ class FaultLocalizer {
   // early (used by benches that track FNR over time).
   using RoundCallback = std::function<bool(const DetectionReport&)>;
 
-  FaultLocalizer(const RuleGraph& graph, controller::Controller& ctrl,
-                 sim::EventLoop& loop, LocalizerConfig config = {});
+  FaultLocalizer(const AnalysisSnapshot& snapshot,
+                 controller::Controller& ctrl, sim::EventLoop& loop,
+                 LocalizerConfig config = {});
 
   // Runs Algorithm 2 until quiescence, max_rounds, or the callback stops it.
   DetectionReport run(RoundCallback callback = nullptr);
@@ -131,10 +139,13 @@ class FaultLocalizer {
   std::vector<Probe> generate_full_cover();
   void charge_wall_time(double seconds);
 
+  const AnalysisSnapshot* snapshot_;
   const RuleGraph* graph_;
   controller::Controller* ctrl_;
   sim::EventLoop* loop_;
   LocalizerConfig config_;
+  // Declared before engine_: the engine borrows the pool. Null when serial.
+  std::unique_ptr<util::ThreadPool> pool_;
   ProbeEngine engine_;
   util::Rng rng_;
   // Deterministic mode: the fixed cover probes, reused each restart.

@@ -26,7 +26,7 @@ struct StitchResult {
 // Already-covered vertices may be traversed (lazy transitive closure).
 class StitchSearch {
  public:
-  StitchSearch(const RuleGraph& g, const std::vector<WorkPath>& paths,
+  StitchSearch(const AnalysisSnapshot& g, const std::vector<WorkPath>& paths,
                const std::vector<int>& head_path_of, std::size_t budget,
                util::Rng* rng, double accept_probability = 1.0)
       : g_(g),
@@ -94,15 +94,12 @@ class StitchSearch {
   }
 
   std::optional<StitchResult> dfs(VertexId at, const hsa::HeaderSpace& space) {
-    std::vector<VertexId> succ = g_.successors(at);
-    // Prefer heads with few feeders: a successor only we can reach must be
-    // claimed by us or it stays a singleton; heads with many predecessors
+    // Visit heads with few feeders first: a successor only we can reach must
+    // be claimed by us or it stays a singleton; heads with many predecessors
     // can still be stitched by someone else. This ordering recovers most of
     // what full Hopcroft–Karp augmentation would, at a fraction of the cost.
-    std::stable_sort(succ.begin(), succ.end(), [this](VertexId a, VertexId b) {
-      return g_.predecessors(a).size() < g_.predecessors(b).size();
-    });
-    for (const VertexId w : succ) {
+    // The snapshot precomputes the ordering once for all restarts/workers.
+    for (const VertexId w : g_.successors_by_fanin(at)) {
       if (visited_[static_cast<std::size_t>(w)]) continue;
       if (budget_ == 0) return std::nullopt;
       --budget_;
@@ -131,7 +128,7 @@ class StitchSearch {
     return std::nullopt;
   }
 
-  const RuleGraph& g_;
+  const AnalysisSnapshot& g_;
   const std::vector<WorkPath>& paths_;
   const std::vector<int>& head_path_of_;
   std::size_t budget_;
@@ -183,7 +180,7 @@ std::vector<Loc> build_locations(int vertex_count,
 // tail of `pi` either finds a free head outright, or captures the suffix of
 // a donor path whose freshly exposed tail can merge onto a free head.
 // Returns true when the total path count decreased by one.
-bool augment(const RuleGraph& g, std::vector<WorkPath>& paths,
+bool augment(const AnalysisSnapshot& g, std::vector<WorkPath>& paths,
              std::vector<int>& head_path_of, const std::vector<Loc>& loc,
              int pi, std::size_t budget) {
   WorkPath& p = paths[static_cast<std::size_t>(pi)];
@@ -236,8 +233,7 @@ bool augment(const RuleGraph& g, std::vector<WorkPath>& paths,
             p.output_space = std::move(through);
             r.vertices.resize(static_cast<std::size_t>(l.idx));
             r.output_space = propagate_along(
-                hsa::HeaderSpace::full(g.rules().header_width()),
-                r.vertices.begin(), r.vertices.end());
+                g.full_space(), r.vertices.begin(), r.vertices.end());
             // The donor's new tail must land on a free head for the
             // rearrangement to pay off.
             StitchSearch secondary(g, paths, head_path_of, budget, nullptr);
@@ -271,17 +267,40 @@ std::size_t Cover::total_vertices() const {
   return n;
 }
 
-Cover MlpcSolver::solve(const RuleGraph& g) const {
-  if (config_.randomized) return solve_once(g, config_.seed);
-  Cover best = solve_once(g, config_.seed);
-  for (int r = 1; r < config_.deterministic_restarts; ++r) {
-    Cover c = solve_once(g, config_.seed + 0xC0FFEEull * static_cast<std::uint64_t>(r));
-    if (c.path_count() < best.path_count()) best = std::move(c);
+Cover MlpcSolver::solve(const AnalysisSnapshot& snapshot) const {
+  if (config_.randomized) return solve_once(snapshot, config_.seed);
+  // Deterministic restarts: each restart r draws its own derived stream, so
+  // the set of candidate covers is a pure function of (snapshot, seed) no
+  // matter how the restarts are scheduled. Restarts are independent reads of
+  // the immutable snapshot; each writes only its own result slot.
+  const std::size_t restarts =
+      static_cast<std::size_t>(std::max(1, config_.deterministic_restarts));
+  std::vector<Cover> results(restarts);
+  auto run_restart = [&](std::size_t r) {
+    results[r] = solve_once(
+        snapshot, util::Rng::derive(config_.seed, static_cast<std::uint64_t>(r)));
+  };
+  const std::size_t workers = std::min(
+      util::ThreadPool::resolve_thread_count(config_.threads), restarts);
+  if (workers <= 1) {
+    for (std::size_t r = 0; r < restarts; ++r) run_restart(r);
+  } else if (pool_ != nullptr) {
+    util::parallel_for(pool_, restarts, run_restart);
+  } else {
+    util::ThreadPool transient(workers);
+    util::parallel_for(&transient, restarts, run_restart);
   }
-  return best;
+  // Stable best-cover selection: smallest cover wins, restart index breaks
+  // ties — an index-order scan with strict `<`, independent of thread count.
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < restarts; ++r) {
+    if (results[r].path_count() < results[best].path_count()) best = r;
+  }
+  return std::move(results[best]);
 }
 
-Cover MlpcSolver::solve_once(const RuleGraph& g, std::uint64_t seed) const {
+Cover MlpcSolver::solve_once(const AnalysisSnapshot& g,
+                             std::uint64_t seed) const {
   const int V = g.vertex_count();
   std::vector<WorkPath> paths;
   paths.reserve(static_cast<std::size_t>(V));
@@ -290,8 +309,7 @@ Cover MlpcSolver::solve_once(const RuleGraph& g, std::uint64_t seed) const {
     if (!g.is_active(v)) continue;  // deactivated by an incremental update
     WorkPath p;
     p.vertices = {v};
-    p.output_space =
-        g.propagate(hsa::HeaderSpace::full(g.rules().header_width()), v);
+    p.output_space = g.propagate(g.full_space(), v);
     assert(!p.output_space.is_empty());
     head_path_of[static_cast<std::size_t>(v)] = static_cast<int>(paths.size());
     paths.push_back(std::move(p));
@@ -366,7 +384,8 @@ Cover MlpcSolver::solve_once(const RuleGraph& g, std::uint64_t seed) const {
   return cover;
 }
 
-bool MlpcSolver::is_stitch_free(const RuleGraph& g, const Cover& cover) const {
+bool MlpcSolver::is_stitch_free(const AnalysisSnapshot& g,
+                                const Cover& cover) const {
   // Rebuild the work structures from the finished cover and probe each tail.
   std::vector<WorkPath> paths;
   std::vector<int> head_path_of(static_cast<std::size_t>(g.vertex_count()),

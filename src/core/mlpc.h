@@ -28,8 +28,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/analysis_snapshot.h"
 #include "core/rule_graph.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sdnprobe::core {
 
@@ -67,27 +69,38 @@ struct MlpcConfig {
   // the cost of more probes — the paper reports Randomized SDNProbe sends
   // 72% more test packets on average (§VIII-B).
   double stitch_accept_probability = 0.65;
+  // Worker threads for the deterministic restarts (each restart is an
+  // independent solve over the shared immutable snapshot). 0 = one worker
+  // per hardware thread, 1 = serial (default). The cover is identical for
+  // every value: restart r always draws stream util::Rng::derive(seed, r)
+  // and the winner is picked by the stable (cover size, restart index)
+  // tie-break, regardless of completion order.
+  int threads = 1;
 };
 
 class MlpcSolver {
  public:
-  explicit MlpcSolver(MlpcConfig config = {}) : config_(config) {}
+  // An externally owned pool lets callers that solve every round (e.g.
+  // FaultLocalizer) reuse workers; with a null pool and threads > 1 the
+  // solver spins up a transient pool per solve() call.
+  explicit MlpcSolver(MlpcConfig config = {}, util::ThreadPool* pool = nullptr)
+      : config_(config), pool_(pool) {}
 
-  // Computes a legal path cover of g with no remaining legal stitch.
-  Cover solve(const RuleGraph& g) const;
-
- private:
-  Cover solve_once(const RuleGraph& g, std::uint64_t seed) const;
-
- public:
+  // Computes a legal path cover of the snapshot's rule graph with no
+  // remaining legal stitch.
+  Cover solve(const AnalysisSnapshot& snapshot) const;
 
   // Verification helper (used by tests and asserts): true when no pair of
   // cover paths can be legally concatenated through the rule graph within
   // the search budget — the Theorem-4 local-optimality condition.
-  bool is_stitch_free(const RuleGraph& g, const Cover& cover) const;
+  bool is_stitch_free(const AnalysisSnapshot& snapshot,
+                      const Cover& cover) const;
 
  private:
+  Cover solve_once(const AnalysisSnapshot& snapshot, std::uint64_t seed) const;
+
   MlpcConfig config_;
+  util::ThreadPool* pool_;
 };
 
 }  // namespace sdnprobe::core

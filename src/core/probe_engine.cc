@@ -1,5 +1,7 @@
 #include "core/probe_engine.h"
 
+#include <algorithm>
+
 #include "sat/header_encoder.h"
 #include "util/logging.h"
 
@@ -12,7 +14,7 @@ std::optional<hsa::TernaryString> ProbeEngine::pick_unique_header(
   // Fast path: sample (traffic-biased when a profile is given) and reject on
   // collision. Collisions are rare because header spaces are huge relative
   // to probe counts.
-  for (int attempt = 0; attempt < 16; ++attempt) {
+  for (int attempt = 0; attempt < config_.sample_attempts; ++attempt) {
     std::optional<hsa::TernaryString> h =
         profile ? profile->sample(input_space, rng)
                 : input_space.sample(rng);
@@ -36,26 +38,42 @@ std::optional<hsa::TernaryString> ProbeEngine::pick_unique_header(
   return std::nullopt;
 }
 
-std::optional<Probe> ProbeEngine::make_probe(const std::vector<VertexId>& path,
-                                             util::Rng& rng,
-                                             const TrafficProfile* profile) {
-  if (path.empty()) return std::nullopt;
-  const hsa::HeaderSpace input = graph_->path_input_space(path);
-  auto header = pick_unique_header(input, rng, profile);
-  if (!header.has_value()) return std::nullopt;
+std::optional<hsa::TernaryString> ProbeEngine::commit_unique_header(
+    const hsa::HeaderSpace& input_space,
+    const std::vector<hsa::TernaryString>& candidates) {
+  if (input_space.is_empty()) return std::nullopt;
+  for (const hsa::TernaryString& h : candidates) {
+    if (!used_.count(h)) {
+      ++stats_.headers_by_sampling;
+      used_.insert(h);
+      return h;
+    }
+  }
+  std::vector<hsa::TernaryString> forbidden(used_.begin(), used_.end());
+  auto h = sat::solve_header_in(input_space, forbidden);
+  if (h.has_value()) {
+    ++stats_.headers_by_sat;
+    used_.insert(*h);
+    return h;
+  }
+  ++stats_.sat_failures;
+  return std::nullopt;
+}
 
+Probe ProbeEngine::finish_probe(const std::vector<VertexId>& path,
+                                hsa::TernaryString header) {
   Probe p;
   p.probe_id = next_probe_id_++;
   p.path = path;
-  p.header = *header;
-  const auto& rules = graph_->rules();
+  p.header = std::move(header);
+  const auto& rules = snapshot_->rules();
   p.entries.reserve(path.size());
-  for (const VertexId v : path) p.entries.push_back(graph_->entry_of(v));
+  for (const VertexId v : path) p.entries.push_back(snapshot_->entry_of(v));
   p.inject_switch = rules.entry(p.entries.front()).switch_id;
   p.terminal_entry = p.entries.back();
   // Expected header at the terminal's test table: transformed by every set
   // field strictly before the terminal entry.
-  hsa::TernaryString h = *header;
+  hsa::TernaryString h = p.header;
   for (std::size_t i = 0; i + 1 < p.entries.size(); ++i) {
     h = h.transform(rules.entry(p.entries[i]).set_field);
   }
@@ -63,18 +81,75 @@ std::optional<Probe> ProbeEngine::make_probe(const std::vector<VertexId>& path,
   return p;
 }
 
+std::optional<Probe> ProbeEngine::make_probe(const std::vector<VertexId>& path,
+                                             util::Rng& rng,
+                                             const TrafficProfile* profile) {
+  if (path.empty()) return std::nullopt;
+  const hsa::HeaderSpace input = snapshot_->path_input_space(path);
+  auto header = pick_unique_header(input, rng, profile);
+  if (!header.has_value()) return std::nullopt;
+  return finish_probe(path, std::move(*header));
+}
+
 std::vector<Probe> ProbeEngine::make_probes(const Cover& cover,
                                             util::Rng& rng,
                                             const TrafficProfile* profile) {
+  const std::size_t n = cover.paths.size();
+  // One base draw: path i samples from stream derive(base, i), so the
+  // produced headers depend only on (cover, rng state at entry) and the
+  // caller's stream advances by exactly one draw — never on thread count.
+  const std::uint64_t base = rng.next();
+
+  // Phase A (parallel, read-only): per-path input spaces and header
+  // candidates. Each worker touches only its own slot.
+  struct PathCandidates {
+    hsa::HeaderSpace input;
+    std::vector<hsa::TernaryString> samples;
+  };
+  std::vector<PathCandidates> candidates(n);
+  auto generate = [&](std::size_t i) {
+    const auto& path = cover.paths[i].vertices;
+    if (path.empty()) return;
+    PathCandidates& c = candidates[i];
+    c.input = snapshot_->path_input_space(path);
+    if (c.input.is_empty()) return;
+    util::Rng path_rng(util::Rng::derive(base, static_cast<std::uint64_t>(i)));
+    c.samples.reserve(static_cast<std::size_t>(config_.sample_attempts));
+    for (int attempt = 0; attempt < config_.sample_attempts; ++attempt) {
+      std::optional<hsa::TernaryString> h =
+          profile ? profile->sample(c.input, path_rng)
+                  : c.input.sample(path_rng);
+      if (!h.has_value()) break;
+      c.samples.push_back(std::move(*h));
+    }
+  };
+  const std::size_t workers =
+      n == 0 ? 1
+             : std::min(util::ThreadPool::resolve_thread_count(config_.threads),
+                        n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) generate(i);
+  } else if (pool_ != nullptr) {
+    util::parallel_for(pool_, n, generate);
+  } else {
+    util::ThreadPool transient(workers);
+    util::parallel_for(&transient, n, generate);
+  }
+
+  // Phase B (serial, cover order): uniqueness commit against `used_`, SAT
+  // fallback for paths whose every candidate collided, probe assembly.
   std::vector<Probe> probes;
-  probes.reserve(cover.paths.size());
-  for (const auto& cp : cover.paths) {
-    auto p = make_probe(cp.vertices, rng, profile);
-    if (p.has_value()) {
-      probes.push_back(std::move(*p));
+  probes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& path = cover.paths[i].vertices;
+    if (path.empty()) continue;
+    auto header = commit_unique_header(candidates[i].input,
+                                       candidates[i].samples);
+    if (header.has_value()) {
+      probes.push_back(finish_probe(path, std::move(*header)));
     } else {
       LOG_WARN << "probe synthesis failed for a cover path of length "
-               << cp.vertices.size();
+               << path.size();
     }
   }
   return probes;

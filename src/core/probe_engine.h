@@ -2,6 +2,13 @@
 // paths into concrete test packets with headers that (a) traverse the whole
 // tested path, (b) are unique across probes, via rejection sampling backed
 // by the SAT solver when sampling stalls.
+//
+// make_probes runs in two phases. Phase A — per-path input-space computation
+// and header-candidate sampling — is read-only over the snapshot and fans
+// out across worker threads, with path i sampling from its own derived RNG
+// stream. Phase B — the uniqueness commit against the `used_` header pool
+// (and the rare SAT fallback) — is serialized in cover order. Output is
+// therefore bit-identical for any thread count, including 1.
 #pragma once
 
 #include <cstdint>
@@ -9,10 +16,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/analysis_snapshot.h"
 #include "core/mlpc.h"
 #include "core/rule_graph.h"
 #include "core/traffic_profile.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sdnprobe::core {
 
@@ -35,14 +44,30 @@ struct ProbeStats {
   std::uint64_t headers_by_sampling = 0;
   std::uint64_t headers_by_sat = 0;
   std::uint64_t sat_failures = 0;  // paths with no unique header available
+
+  friend bool operator==(const ProbeStats&, const ProbeStats&) = default;
+};
+
+struct ProbeEngineConfig {
+  // Worker threads for make_probes' candidate-generation phase
+  // (0 = hardware_concurrency, 1 = serial). Headers and stats are identical
+  // for any value; see the file comment.
+  int threads = 1;
+  // Header candidates sampled per path before the SAT fallback.
+  int sample_attempts = 16;
 };
 
 class ProbeEngine {
  public:
-  explicit ProbeEngine(const RuleGraph& graph) : graph_(&graph) {}
+  explicit ProbeEngine(const AnalysisSnapshot& snapshot,
+                       ProbeEngineConfig config = {},
+                       util::ThreadPool* pool = nullptr)
+      : snapshot_(&snapshot), config_(config), pool_(pool) {}
 
   // Builds probes for every path of `cover`. Paths whose header synthesis
   // fails (exhausted header space) are skipped; see stats().sat_failures.
+  // Consumes exactly one draw from `rng` (the per-path stream base), so the
+  // caller's stream advances identically for any thread count.
   std::vector<Probe> make_probes(const Cover& cover, util::Rng& rng,
                                  const TrafficProfile* profile = nullptr);
 
@@ -69,7 +94,19 @@ class ProbeEngine {
       const hsa::HeaderSpace& input_space, util::Rng& rng,
       const TrafficProfile* profile);
 
-  const RuleGraph* graph_;
+  // Phase-B helper: first non-colliding candidate, else SAT. Serial only.
+  std::optional<hsa::TernaryString> commit_unique_header(
+      const hsa::HeaderSpace& input_space,
+      const std::vector<hsa::TernaryString>& candidates);
+
+  // Fills in entries / inject switch / expected return for a legal path
+  // whose header has been chosen.
+  Probe finish_probe(const std::vector<VertexId>& path,
+                     hsa::TernaryString header);
+
+  const AnalysisSnapshot* snapshot_;
+  ProbeEngineConfig config_;
+  util::ThreadPool* pool_;
   std::uint64_t next_probe_id_ = 1;
   std::unordered_set<hsa::TernaryString, hsa::TernaryStringHash> used_;
   ProbeStats stats_;

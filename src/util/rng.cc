@@ -72,4 +72,12 @@ bool Rng::next_bool(double p) {
 
 Rng Rng::fork() { return Rng(next()); }
 
+std::uint64_t Rng::derive(std::uint64_t seed, std::uint64_t stream) {
+  // Offset the splitmix walk by a stream-scaled odd constant, then take two
+  // steps: one to decorrelate adjacent streams, one for the output.
+  std::uint64_t x = seed ^ (0xA3EC647659359ACDULL * (stream + 1));
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
 }  // namespace sdnprobe::util

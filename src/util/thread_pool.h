@@ -1,0 +1,95 @@
+// Deterministic parallel execution layer.
+//
+// The analysis hot paths (MLPC restarts, probe-header candidate generation)
+// fan read-only work out over an immutable core::AnalysisSnapshot. The
+// contract everywhere in this repository is that parallel execution must be
+// *bit-identical* to serial execution for any worker count: workers never
+// share mutable state, every task writes into its own pre-assigned result
+// slot, and the caller merges results in slot-index order. ThreadPool and
+// TaskGroup only schedule; determinism comes from that merge discipline plus
+// per-task RNG streams (util::Rng::derive).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdnprobe::util {
+
+// Fixed-size pool of worker threads draining a FIFO task queue. The pool is
+// intended to be built once per component (e.g. one per FaultLocalizer) and
+// reused across detection rounds; construction cost is a few microseconds
+// per worker. enqueue() is thread-safe. Tasks must not enqueue into the pool
+// they run on and then block on it (no work-stealing; that would deadlock) —
+// use TaskGroup/parallel_for, which only block the *submitting* thread.
+class ThreadPool {
+ public:
+  // worker_count == 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  // Schedules a task; returns immediately. Tasks run in FIFO submission
+  // order across the pool (per-task completion order is unspecified).
+  void enqueue(std::function<void()> task);
+
+  // Maps a user-facing `threads` config knob to an effective worker count:
+  // 0 = hardware_concurrency, otherwise the value itself (min 1).
+  static std::size_t resolve_thread_count(int requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// A wait-group over tasks submitted to a ThreadPool. spawn() assigns each
+// task the next spawn index; wait() blocks until every spawned task
+// finished, then rethrows the exception of the *lowest-spawn-index* failed
+// task (deterministic: independent of which worker failed first). A group
+// is reusable: after wait() returns (or throws) it is empty again.
+//
+// With a null pool (or a single-worker semantic chosen by the caller) tasks
+// run inline on the calling thread at spawn() time, with identical exception
+// semantics — serial and parallel runs observe the same behavior.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  void spawn(std::function<void()> fn);
+  void wait();
+
+ private:
+  void finish(std::size_t index, std::exception_ptr error);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::size_t inflight_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t first_error_index_ = 0;
+  std::exception_ptr first_error_;
+};
+
+// Runs fn(0), fn(1), ..., fn(count - 1) and blocks until all complete.
+// Serial (inline, in index order) when pool is null or count < 2; otherwise
+// each index is a pool task. Rethrows the lowest-index task exception.
+// Because each index writes only its own result slot, output never depends
+// on the pool's worker count.
+void parallel_for(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace sdnprobe::util

@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "core/analysis_snapshot.h"
 #include "core/mlpc.h"
 #include "core/rule_graph.h"
 #include "flow/synthesizer.h"
@@ -155,8 +156,10 @@ TEST(Incremental, NewEdgesAppearForNewEntry) {
   const auto& succ = graph.successors(graph.vertex_for(a_id));
   ASSERT_EQ(succ.size(), 1u);
   EXPECT_EQ(graph.entry_of(succ[0]), b_id);
-  // And MLPC now stitches the two into one tested path.
-  const Cover cover = MlpcSolver().solve(graph);
+  // And MLPC now stitches the two into one tested path. The snapshot is
+  // taken after the incremental update (its immutability contract).
+  const AnalysisSnapshot snap(graph);
+  const Cover cover = MlpcSolver().solve(snap);
   EXPECT_EQ(cover.path_count(), 1u);
   EXPECT_EQ(cover.paths[0].vertices.size(), 2u);
 }

@@ -9,6 +9,7 @@
 #include "baselines/atpg.h"
 #include "baselines/per_rule.h"
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/localizer.h"
 #include "core/mlpc.h"
 #include "core/probe_engine.h"
@@ -51,7 +52,8 @@ TEST(IntegrationSmoke, RuleGraphIsAcyclicAndCovers) {
 TEST(IntegrationSmoke, MlpcCoversAllVerticesWithLegalPaths) {
   const flow::RuleSet rs = make_test_ruleset();
   core::RuleGraph graph(rs);
-  const core::Cover cover = core::MlpcSolver().solve(graph);
+  core::AnalysisSnapshot snap(graph);
+  const core::Cover cover = core::MlpcSolver().solve(snap);
   // Every vertex appears on some path.
   std::set<core::VertexId> covered;
   for (const auto& p : cover.paths) {
@@ -67,12 +69,13 @@ TEST(IntegrationSmoke, MlpcCoversAllVerticesWithLegalPaths) {
 TEST(IntegrationSmoke, CleanNetworkHasNoFailuresAndNoFlags) {
   const flow::RuleSet rs = make_test_ruleset();
   core::RuleGraph graph(rs);
+  core::AnalysisSnapshot snap(graph);
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
   controller::Controller ctrl(rs, net);
   core::LocalizerConfig cfg;
   cfg.max_rounds = 4;
-  core::FaultLocalizer loc(graph, ctrl, loop, cfg);
+  core::FaultLocalizer loc(snap, ctrl, loop, cfg);
   const core::DetectionReport report = loc.run();
   EXPECT_TRUE(report.flagged_switches.empty());
   EXPECT_GE(report.rounds, 1);
@@ -82,6 +85,7 @@ TEST(IntegrationSmoke, CleanNetworkHasNoFailuresAndNoFlags) {
 TEST(IntegrationSmoke, LocalizesSingleDropFault) {
   const flow::RuleSet rs = make_test_ruleset();
   core::RuleGraph graph(rs);
+  core::AnalysisSnapshot snap(graph);
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
   controller::Controller ctrl(rs, net);
@@ -96,7 +100,7 @@ TEST(IntegrationSmoke, LocalizesSingleDropFault) {
 
   core::LocalizerConfig cfg;
   cfg.max_rounds = 32;
-  core::FaultLocalizer loc(graph, ctrl, loop, cfg);
+  core::FaultLocalizer loc(snap, ctrl, loop, cfg);
   const core::DetectionReport report = loc.run();
   ASSERT_EQ(report.flagged_switches.size(), 1u) << "expected exact detection";
   EXPECT_EQ(report.flagged_switches[0], faulty_switch);
@@ -106,6 +110,7 @@ TEST(IntegrationSmoke, LocalizesSingleDropFault) {
 TEST(IntegrationSmoke, LocalizesMultipleBasicFaultsExactly) {
   const flow::RuleSet rs = make_test_ruleset(5, 800);
   core::RuleGraph graph(rs);
+  core::AnalysisSnapshot snap(graph);
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
   controller::Controller ctrl(rs, net);
@@ -118,7 +123,7 @@ TEST(IntegrationSmoke, LocalizesMultipleBasicFaultsExactly) {
 
   core::LocalizerConfig cfg;
   cfg.max_rounds = 48;
-  core::FaultLocalizer loc(graph, ctrl, loop, cfg);
+  core::FaultLocalizer loc(snap, ctrl, loop, cfg);
   const core::DetectionReport report = loc.run();
   const auto score =
       core::score_detection(report.flagged_switches, truth, rs.switch_count());
@@ -131,6 +136,7 @@ TEST(IntegrationSmoke, LocalizesMultipleBasicFaultsExactly) {
 TEST(IntegrationSmoke, PerRuleBaselineDetectsButOverBlames) {
   const flow::RuleSet rs = make_test_ruleset(7, 700);
   core::RuleGraph graph(rs);
+  core::AnalysisSnapshot snap(graph);
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
   controller::Controller ctrl(rs, net);
@@ -142,7 +148,7 @@ TEST(IntegrationSmoke, PerRuleBaselineDetectsButOverBlames) {
   core::plan_basic_faults(graph, 4, mix, rng, &net.faults());
   const auto truth = net.faulty_switches();
 
-  baselines::PerRuleTest prt(graph, ctrl, loop);
+  baselines::PerRuleTest prt(snap, ctrl, loop);
   const core::DetectionReport report = prt.run();
   const auto score =
       core::score_detection(report.flagged_switches, truth, rs.switch_count());
@@ -154,6 +160,7 @@ TEST(IntegrationSmoke, PerRuleBaselineDetectsButOverBlames) {
 TEST(IntegrationSmoke, AtpgDetectsBasicFaults) {
   const flow::RuleSet rs = make_test_ruleset(9, 700);
   core::RuleGraph graph(rs);
+  core::AnalysisSnapshot snap(graph);
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
   controller::Controller ctrl(rs, net);
@@ -169,7 +176,7 @@ TEST(IntegrationSmoke, AtpgDetectsBasicFaults) {
   core::plan_basic_faults(graph, count, mix, rng, &net.faults());
   const auto truth = net.faulty_switches();
 
-  baselines::Atpg atpg(graph, ctrl, loop);
+  baselines::Atpg atpg(snap, ctrl, loop);
   EXPECT_GT(atpg.probe_count(), 0u);
   const core::DetectionReport report = atpg.run();
   const auto score =
@@ -181,18 +188,19 @@ TEST(IntegrationSmoke, ProbeCountOrdering) {
   // Paper Fig. 8(a): SDNProbe <= ATPG <= Per-rule.
   const flow::RuleSet rs = make_test_ruleset(13, 900);
   core::RuleGraph graph(rs);
+  core::AnalysisSnapshot snap(graph);
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
   controller::Controller ctrl(rs, net);
 
   core::LocalizerConfig cfg;
-  core::FaultLocalizer loc(graph, ctrl, loop, cfg);
+  core::FaultLocalizer loc(snap, ctrl, loop, cfg);
   const std::size_t sdnprobe_count = loc.initial_probe_count();
 
-  baselines::Atpg atpg(graph, ctrl, loop);
+  baselines::Atpg atpg(snap, ctrl, loop);
   const std::size_t atpg_count = atpg.probe_count();
 
-  baselines::PerRuleTest prt(graph, ctrl, loop);
+  baselines::PerRuleTest prt(snap, ctrl, loop);
   const std::size_t per_rule_count = prt.probe_count();
 
   EXPECT_LE(sdnprobe_count, atpg_count);

@@ -5,6 +5,7 @@
 
 #include "baselines/per_rule.h"
 #include "controller/controller.h"
+#include "core/analysis_snapshot.h"
 #include "core/localizer.h"
 #include "core/rule_graph.h"
 #include "core/scenario.h"
@@ -18,6 +19,7 @@ namespace {
 struct Fixture {
   flow::RuleSet rules;
   std::unique_ptr<RuleGraph> graph;
+  std::unique_ptr<AnalysisSnapshot> snap;
   sim::EventLoop loop;
   std::unique_ptr<dataplane::Network> net;
   std::unique_ptr<controller::Controller> ctrl;
@@ -33,6 +35,7 @@ struct Fixture {
     sc.seed = seed + 1;
     rules = flow::synthesize_ruleset(g, sc);
     graph = std::make_unique<RuleGraph>(rules);
+    snap = std::make_unique<AnalysisSnapshot>(*graph);
     net = std::make_unique<dataplane::Network>(rules, loop);
     ctrl = std::make_unique<controller::Controller>(rules, *net);
   }
@@ -46,7 +49,7 @@ TEST(Localizer, ExactOnModifyFault) {
   mix.drop = false;
   mix.misdirect = false;  // modify only
   fx.net->faults().add_fault(ids[0], make_fault(*fx.graph, ids[0], mix, rng));
-  FaultLocalizer loc(*fx.graph, *fx.ctrl, fx.loop);
+  FaultLocalizer loc(*fx.snap, *fx.ctrl, fx.loop);
   const auto rep = loc.run();
   ASSERT_EQ(rep.flagged_switches.size(), 1u);
   EXPECT_EQ(rep.flagged_switches[0], fx.rules.entry(ids[0]).switch_id);
@@ -67,6 +70,7 @@ TEST(Localizer, ExactOnMisdirectFaultChainRuleset) {
   sc.seed = 7;
   const flow::RuleSet rules = flow::synthesize_ruleset(g, sc);
   RuleGraph graph(rules);
+  AnalysisSnapshot snap(graph);
   sim::EventLoop loop;
   dataplane::Network net(rules, loop);
   controller::Controller ctrl(rules, net);
@@ -78,7 +82,7 @@ TEST(Localizer, ExactOnMisdirectFaultChainRuleset) {
   for (const auto id : ids) {
     net.faults().add_fault(id, make_fault(graph, id, mix, rng));
   }
-  FaultLocalizer loc(graph, ctrl, loop);
+  FaultLocalizer loc(snap, ctrl, loop);
   const auto rep = loc.run();
   const auto score = score_detection(rep.flagged_switches,
                                      net.faulty_switches(),
@@ -98,7 +102,7 @@ TEST(Localizer, IntermittentFaultCaughtWithSustainedMonitoring) {
   LocalizerConfig lc;
   lc.max_rounds = 300;
   lc.quiet_full_rounds_to_stop = 40;
-  FaultLocalizer loc(*fx.graph, *fx.ctrl, fx.loop, lc);
+  FaultLocalizer loc(*fx.snap, *fx.ctrl, fx.loop, lc);
   const auto rep = loc.run([&truth](const DetectionReport& r) {
     for (const auto s : truth) {
       if (!r.flagged(s)) return false;
@@ -119,7 +123,7 @@ TEST(Localizer, SuspicionLevelsExposeTheCulprit) {
   dataplane::FaultSpec spec;
   spec.kind = dataplane::FaultKind::kDrop;
   fx.net->faults().add_fault(ids[0], spec);
-  FaultLocalizer loc(*fx.graph, *fx.ctrl, fx.loop);
+  FaultLocalizer loc(*fx.snap, *fx.ctrl, fx.loop);
   loc.run();
   const auto& suspicion = loc.suspicion_levels();
   int best = -1;
@@ -146,7 +150,7 @@ TEST(Localizer, DeterministicMissesDetourRandomizedCatches) {
     lc.randomized = randomized;
     lc.max_rounds = randomized ? 150 : 10;
     lc.quiet_full_rounds_to_stop = randomized ? 150 : 1;
-    FaultLocalizer loc(*fx.graph, *fx.ctrl, fx.loop, lc);
+    FaultLocalizer loc(*fx.snap, *fx.ctrl, fx.loop, lc);
     const auto rep = loc.run([&truth](const DetectionReport& r) {
       for (const auto s : truth) {
         if (!r.flagged(s)) return false;
@@ -168,7 +172,7 @@ TEST(Localizer, DeterministicMissesDetourRandomizedCatches) {
 
 TEST(Localizer, ReportBookkeepingConsistent) {
   Fixture fx(5, 600);
-  FaultLocalizer loc(*fx.graph, *fx.ctrl, fx.loop);
+  FaultLocalizer loc(*fx.snap, *fx.ctrl, fx.loop);
   const auto rep = loc.run();
   EXPECT_EQ(rep.rounds, static_cast<int>(rep.round_log.size()));
   EXPECT_TRUE(rep.flagged_switches.empty());
@@ -223,7 +227,7 @@ TEST(Scenario, TrafficModelCubesIntersectFlowSpaces) {
 
 TEST(PerRuleBaseline, CleanNetworkFlagsNothing) {
   Fixture fx(2, 500);
-  baselines::PerRuleTest prt(*fx.graph, *fx.ctrl, fx.loop);
+  baselines::PerRuleTest prt(*fx.snap, *fx.ctrl, fx.loop);
   const auto rep = prt.run();
   EXPECT_TRUE(rep.flagged_switches.empty());
   EXPECT_EQ(rep.probes_sent, prt.probe_count());

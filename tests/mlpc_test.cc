@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "core/analysis_snapshot.h"
 #include "core/legal_paths.h"
 #include "core/mlpc.h"
 #include "core/rule_graph.h"
@@ -128,7 +129,8 @@ TEST(MlpcPaper, FourTestPacketsCoverFigureThree) {
   // Figure 6: the minimum legal path cover has 4 paths for the 10 rules.
   const PaperExample ex = make_paper_example();
   RuleGraph g(ex.rules);
-  const Cover cover = MlpcSolver().solve(g);
+  AnalysisSnapshot snap(g);
+  const Cover cover = MlpcSolver().solve(snap);
   EXPECT_EQ(cover.path_count(), 4u);
   std::set<VertexId> covered;
   for (const auto& p : cover.paths) {
@@ -190,10 +192,11 @@ TEST_P(MlpcProperty, CoverInvariants) {
   sc.seed = GetParam().seed + 99;
   const flow::RuleSet rs = flow::synthesize_ruleset(topo, sc);
   RuleGraph g(rs);
+  AnalysisSnapshot snap(g);
   ASSERT_TRUE(g.is_acyclic());
 
   MlpcSolver solver;
-  const Cover cover = solver.solve(g);
+  const Cover cover = solver.solve(snap);
   std::set<VertexId> covered;
   for (const auto& p : cover.paths) {
     ASSERT_FALSE(p.vertices.empty());
@@ -202,12 +205,12 @@ TEST_P(MlpcProperty, CoverInvariants) {
     covered.insert(p.vertices.begin(), p.vertices.end());
   }
   EXPECT_EQ(static_cast<int>(covered.size()), g.vertex_count());
-  EXPECT_TRUE(solver.is_stitch_free(g, cover));
+  EXPECT_TRUE(solver.is_stitch_free(snap, cover));
 
   MlpcConfig rc;
   rc.randomized = true;
   rc.seed = GetParam().seed;
-  const Cover random_cover = MlpcSolver(rc).solve(g);
+  const Cover random_cover = MlpcSolver(rc).solve(snap);
   std::set<VertexId> rcovered;
   for (const auto& p : random_cover.paths) {
     EXPECT_TRUE(g.is_legal_path(p.vertices));
@@ -233,12 +236,13 @@ TEST(MlpcRandomized, DifferentSeedsGiveDifferentTerminals) {
   sc.seed = 77;
   const flow::RuleSet rs = flow::synthesize_ruleset(topo, sc);
   RuleGraph g(rs);
+  AnalysisSnapshot snap(g);
   std::set<std::set<VertexId>> terminal_sets;
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     MlpcConfig mc;
     mc.randomized = true;
     mc.seed = seed;
-    const Cover c = MlpcSolver(mc).solve(g);
+    const Cover c = MlpcSolver(mc).solve(snap);
     std::set<VertexId> terms;
     for (const auto& p : c.paths) terms.insert(p.vertices.back());
     terminal_sets.insert(std::move(terms));

@@ -1,0 +1,136 @@
+// The PR-level determinism contract: MLPC covers, probe headers, and probe
+// stats are bit-identical for every thread count (threads = 1, 2, 8), both
+// with transient pools and with a shared pre-built pool, on a Table-2-sized
+// topology (30 switches / 54 links, thousands of rules).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analysis_snapshot.h"
+#include "core/mlpc.h"
+#include "core/probe_engine.h"
+#include "core/rule_graph.h"
+#include "flow/synthesizer.h"
+#include "topo/generator.h"
+#include "util/thread_pool.h"
+
+namespace sdnprobe::core {
+namespace {
+
+flow::RuleSet table2_sized_ruleset() {
+  topo::GeneratorConfig tc;
+  tc.node_count = 30;
+  tc.link_count = 54;
+  tc.seed = 2;
+  const topo::Graph g = topo::make_rocketfuel_like(tc);
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = 6000;
+  sc.aggregates = true;
+  sc.k_paths = 3;
+  sc.seed = 71;
+  return flow::synthesize_ruleset(g, sc);
+}
+
+std::vector<std::vector<VertexId>> cover_paths(const Cover& c) {
+  std::vector<std::vector<VertexId>> out;
+  out.reserve(c.paths.size());
+  for (const auto& p : c.paths) out.push_back(p.vertices);
+  return out;
+}
+
+std::vector<std::string> probe_fingerprints(const std::vector<Probe>& probes) {
+  std::vector<std::string> out;
+  out.reserve(probes.size());
+  for (const Probe& p : probes) {
+    std::string fp = p.header.to_string() + "|" +
+                     p.expected_return.to_string() + "|";
+    for (const VertexId v : p.path) fp += std::to_string(v) + ",";
+    out.push_back(std::move(fp));
+  }
+  return out;
+}
+
+TEST(ParallelDeterminism, MlpcCoverIdenticalAcrossThreadCounts) {
+  const flow::RuleSet rs = table2_sized_ruleset();
+  const RuleGraph graph(rs);
+  const AnalysisSnapshot snap(graph);
+
+  MlpcConfig mc;
+  mc.deterministic_restarts = 6;
+  mc.threads = 1;
+  const Cover reference = MlpcSolver(mc).solve(snap);
+  EXPECT_GT(reference.path_count(), 0u);
+
+  for (const int threads : {2, 8}) {
+    mc.threads = threads;
+    const Cover cover = MlpcSolver(mc).solve(snap);
+    EXPECT_EQ(cover_paths(cover), cover_paths(reference))
+        << "threads=" << threads << " changed the deterministic cover";
+  }
+
+  // A shared pre-built pool (the FaultLocalizer setup) must agree too.
+  util::ThreadPool pool(8);
+  mc.threads = 8;
+  const Cover pooled = MlpcSolver(mc, &pool).solve(snap);
+  EXPECT_EQ(cover_paths(pooled), cover_paths(reference));
+}
+
+TEST(ParallelDeterminism, ProbeHeadersAndStatsIdenticalAcrossThreadCounts) {
+  const flow::RuleSet rs = table2_sized_ruleset();
+  const RuleGraph graph(rs);
+  const AnalysisSnapshot snap(graph);
+  const Cover cover = MlpcSolver().solve(snap);
+
+  std::vector<std::string> ref_fp;
+  ProbeStats ref_stats;
+  std::uint64_t ref_rng_after = 0;
+  for (const int threads : {1, 2, 8}) {
+    ProbeEngineConfig pc;
+    pc.threads = threads;
+    ProbeEngine engine(snap, pc);
+    util::Rng rng(5);
+    const auto probes = engine.make_probes(cover, rng);
+    ASSERT_EQ(probes.size(), cover.path_count());
+    const auto fp = probe_fingerprints(probes);
+    // make_probes consumes exactly one caller draw, so the caller's stream
+    // position must also be thread-count independent.
+    const std::uint64_t rng_after = rng.next();
+    if (threads == 1) {
+      ref_fp = fp;
+      ref_stats = engine.stats();
+      ref_rng_after = rng_after;
+      continue;
+    }
+    EXPECT_EQ(fp, ref_fp) << "threads=" << threads << " changed headers";
+    EXPECT_TRUE(engine.stats() == ref_stats)
+        << "threads=" << threads << " changed ProbeStats";
+    EXPECT_EQ(rng_after, ref_rng_after);
+  }
+
+  // Shared pool variant.
+  util::ThreadPool pool(8);
+  ProbeEngineConfig pc;
+  pc.threads = 8;
+  ProbeEngine engine(snap, pc, &pool);
+  util::Rng rng(5);
+  EXPECT_EQ(probe_fingerprints(engine.make_probes(cover, rng)), ref_fp);
+  EXPECT_TRUE(engine.stats() == ref_stats);
+}
+
+TEST(ParallelDeterminism, SnapshotLegalClosureIsStableUnderConcurrentAccess) {
+  const flow::RuleSet rs = table2_sized_ruleset();
+  const RuleGraph graph(rs);
+  const AnalysisSnapshot snap(graph);
+  // First access may race from many workers; all must observe one closure.
+  util::ThreadPool pool(8);
+  std::vector<const std::vector<std::vector<VertexId>>*> seen(16);
+  util::parallel_for(&pool, seen.size(),
+                     [&](std::size_t i) { seen[i] = &snap.legal_closure(); });
+  for (const auto* p : seen) EXPECT_EQ(p, seen[0]);
+  EXPECT_EQ(snap.legal_closure().size(),
+            static_cast<std::size_t>(snap.vertex_count()));
+}
+
+}  // namespace
+}  // namespace sdnprobe::core

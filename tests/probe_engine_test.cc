@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "core/analysis_snapshot.h"
 #include "core/mlpc.h"
 #include "core/probe_engine.h"
 #include "core/rule_graph.h"
@@ -34,8 +35,9 @@ flow::RuleSet small_ruleset() {
 TEST(ProbeEngine, HeadersAreUniqueAndLegal) {
   const flow::RuleSet rs = small_ruleset();
   RuleGraph graph(rs);
-  const Cover cover = MlpcSolver().solve(graph);
-  ProbeEngine engine(graph);
+  AnalysisSnapshot snap(graph);
+  const Cover cover = MlpcSolver().solve(snap);
+  ProbeEngine engine(snap);
   util::Rng rng(5);
   const auto probes = engine.make_probes(cover, rng);
   EXPECT_EQ(probes.size(), cover.path_count());
@@ -72,7 +74,8 @@ TEST(ProbeEngine, ExpectedReturnAppliesUpstreamSetFields) {
   rs.add_entry(second);
 
   RuleGraph graph(rs);
-  ProbeEngine engine(graph);
+  AnalysisSnapshot snap(graph);
+  ProbeEngine engine(snap);
   util::Rng rng(1);
   const auto probe =
       engine.make_probe({graph.vertex_for(0), graph.vertex_for(1)}, rng);
@@ -85,7 +88,8 @@ TEST(ProbeEngine, ExpectedReturnAppliesUpstreamSetFields) {
 TEST(ProbeEngine, IllegalPathYieldsNoProbe) {
   const flow::RuleSet rs = small_ruleset();
   RuleGraph graph(rs);
-  ProbeEngine engine(graph);
+  AnalysisSnapshot snap(graph);
+  ProbeEngine engine(snap);
   util::Rng rng(2);
   // Two unrelated vertices rarely form a legal path; find a genuinely
   // illegal pair (no edge and disjoint spaces).
@@ -112,7 +116,8 @@ TEST(ProbeEngine, ResetAllowsHeaderReuse) {
   e.action = flow::Action::output(*rs.ports().port_to(0, 1));
   rs.add_entry(e);
   RuleGraph graph(rs);
-  ProbeEngine engine(graph);
+  AnalysisSnapshot snap(graph);
+  ProbeEngine engine(snap);
   util::Rng rng(1);
   ASSERT_TRUE(engine.make_probe({0}, rng).has_value());
   ASSERT_TRUE(engine.make_probe({0}, rng).has_value());

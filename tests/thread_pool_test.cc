@@ -1,0 +1,115 @@
+// Tests for the deterministic execution layer: ThreadPool scheduling,
+// TaskGroup completion/exception semantics, parallel_for slot discipline,
+// and reuse of one pool across many rounds (the FaultLocalizer pattern).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace sdnprobe::util {
+namespace {
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(4), 4u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(-3), 1u);
+  EXPECT_GE(ThreadPool::resolve_thread_count(0), 1u);  // hardware_concurrency
+}
+
+TEST(ThreadPool, RunsEveryEnqueuedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForFillsEverySlotExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<int> slots(1000, 0);
+  parallel_for(&pool, slots.size(), [&](std::size_t i) { ++slots[i]; });
+  EXPECT_EQ(std::accumulate(slots.begin(), slots.end(), 0), 1000);
+  for (const int s : slots) EXPECT_EQ(s, 1);
+}
+
+TEST(ThreadPool, ParallelForNullPoolRunsInline) {
+  std::vector<std::size_t> order;
+  parallel_for(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, WaitRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  // Several tasks fail; wait() must deterministically surface the failure of
+  // the lowest spawn index, not whichever worker lost the race.
+  for (int round = 0; round < 20; ++round) {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 16; ++i) {
+      group.spawn([i] {
+        if (i % 3 == 1) {  // indices 1, 4, 7, ... fail
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+    }
+    try {
+      group.wait();
+      FAIL() << "expected wait() to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 1");
+    }
+  }
+}
+
+TEST(ThreadPool, InlineGroupMatchesPooledExceptionSemantics) {
+  TaskGroup group(nullptr);  // null pool: spawn() runs inline
+  int ran = 0;
+  group.spawn([&ran] { ++ran; });
+  group.spawn([] { throw std::runtime_error("inline"); });
+  group.spawn([&ran] { ++ran; });  // later tasks still run
+  EXPECT_EQ(ran, 2);
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, GroupIsReusableAcrossRounds) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+      group.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    EXPECT_EQ(ran.load(), 8);
+  }
+  // After an error round, the group must be clean again.
+  group.spawn([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  std::atomic<int> ran{0};
+  group.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  group.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.spawn([&order, i] { order.push_back(i); });
+  }
+  group.wait();
+  std::vector<int> expected(64);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace sdnprobe::util

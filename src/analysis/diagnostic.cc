@@ -1,0 +1,98 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace sdnprobe::analysis {
+
+const char* check_name(CheckId id) {
+  switch (id) {
+    case CheckId::kShadowedEntry:
+      return "shadowed-entry";
+    case CheckId::kEmptyMatch:
+      return "empty-match";
+    case CheckId::kGotoCycle:
+      return "goto-cycle";
+    case CheckId::kUnreachableTable:
+      return "unreachable-table";
+    case CheckId::kDanglingOutput:
+      return "dangling-output";
+    case CheckId::kDanglingGoto:
+      return "dangling-goto";
+    case CheckId::kTopologyDisconnected:
+      return "topology-disconnected";
+    case CheckId::kTopologyAsymmetricLink:
+      return "topology-asymmetric-link";
+    case CheckId::kTopologyDuplicatePort:
+      return "topology-duplicate-port";
+    case CheckId::kRuleGraphCycle:
+      return "rule-graph-cycle";
+    case CheckId::kEmptyVertexSpace:
+      return "empty-vertex-space";
+    case CheckId::kUnsatEdge:
+      return "unsat-edge";
+  }
+  return "unknown-check";
+}
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Location::to_string() const {
+  std::ostringstream os;
+  os << "sw=" << switch_id << " table=" << table_id << " entry=" << entry_id;
+  return os.str();
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << severity_name(severity) << " [" << check_name(check) << "] "
+     << location.to_string() << ": " << message;
+  for (const auto& [key, value] : payload) {
+    os << " {" << key << "=" << value << "}";
+  }
+  return os.str();
+}
+
+std::size_t LintReport::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::size_t LintReport::count(CheckId c) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.check == c) ++n;
+  }
+  return n;
+}
+
+std::vector<const Diagnostic*> LintReport::by_check(CheckId c) const {
+  std::vector<const Diagnostic*> out;
+  for (const auto& d : diagnostics_) {
+    if (d.check == c) out.push_back(&d);
+  }
+  return out;
+}
+
+std::string LintReport::to_string() const {
+  std::string out;
+  for (const auto& d : diagnostics_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sdnprobe::analysis

@@ -1,0 +1,495 @@
+#include "analysis/linter.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "sat/header_encoder.h"
+#include "util/check.h"
+
+namespace sdnprobe::analysis {
+namespace {
+
+using flow::EntryId;
+using flow::FlowEntry;
+using flow::RuleSet;
+using flow::SwitchId;
+using flow::TableId;
+
+std::string join_ids(const std::vector<int>& ids) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i) os << ',';
+    os << ids[i];
+  }
+  return os.str();
+}
+
+Location entry_location(const FlowEntry& e) {
+  return Location{e.switch_id, e.table_id, e.id};
+}
+
+// Where an entry hands packets off to, if anywhere: (switch, table). Mirrors
+// the rule graph's edge-target logic so the linter reasons about the same
+// forwarding continuations the graph encodes.
+std::optional<std::pair<SwitchId, TableId>> handoff_target(
+    const RuleSet& rules, const FlowEntry& e) {
+  switch (e.action.type) {
+    case flow::ActionType::kOutput: {
+      const auto peer = rules.ports().peer_of(e.switch_id, e.action.out_port);
+      if (!peer.has_value()) return std::nullopt;  // host port or invalid
+      return std::make_pair(*peer, TableId{0});
+    }
+    case flow::ActionType::kGotoTable:
+      return std::make_pair(e.switch_id, e.action.next_table);
+    case flow::ActionType::kDrop:
+    case flow::ActionType::kToController:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool valid_output_port(const RuleSet& rules, const FlowEntry& e) {
+  // Ports 0..degree-1 reach neighbors; port degree is the host port.
+  return e.action.out_port >= 0 &&
+         e.action.out_port <= rules.ports().host_port(e.switch_id);
+}
+
+bool valid_goto_target(const RuleSet& rules, const FlowEntry& e) {
+  const TableId t = e.action.next_table;
+  return t >= 0 && t < rules.table_count(e.switch_id) &&
+         !rules.table(e.switch_id, t).empty();
+}
+
+void add_shadowed_diagnostic(const RuleSet& rules, const FlowEntry& e,
+                             LintReport& report) {
+  const auto& table = rules.table(e.switch_id, e.table_id);
+  std::vector<int> covering;
+  for (const FlowEntry* q : table.overlapping_above(e)) {
+    covering.push_back(q->id);
+  }
+  Diagnostic d;
+  // Warning, not error: realistic destination-based rulesets legitimately
+  // contain fully shadowed entries (longest-prefix aggregation plus route
+  // diversity), traffic is still handled by the covering rules, and the
+  // rule graph already excludes them as dead entries. They are dead weight
+  // worth cleaning up, not a correctness defect.
+  d.severity = Severity::kWarning;
+  d.check = CheckId::kShadowedEntry;
+  d.location = entry_location(e);
+  d.message = "entry is fully shadowed by " +
+              std::to_string(covering.size()) +
+              " higher-priority overlapping entr" +
+              (covering.size() == 1 ? "y" : "ies") +
+              "; no packet can exercise it";
+  d.payload.emplace_back("covered-by", join_ids(covering));
+  report.add(std::move(d));
+}
+
+// Checks that at least one packet the entry emits can match *some* entry of
+// the table it hands off to. `out` is the entry's output header space
+// (r.out = T(r.in, r.s)).
+void check_empty_match(const RuleSet& rules, const FlowEntry& e,
+                       const hsa::HeaderSpace& out, LintReport& report) {
+  const auto target = handoff_target(rules, e);
+  if (!target.has_value()) return;  // terminal action
+  if (e.action.type == flow::ActionType::kGotoTable &&
+      !valid_goto_target(rules, e)) {
+    return;  // dangling-goto already reported
+  }
+  const auto& next = rules.table(target->first, target->second);
+  bool reachable = false;
+  for (const auto& out_cube : out.cubes()) {
+    for (const auto& q : next.entries()) {
+      if (q.match.intersects(out_cube)) {
+        reachable = true;
+        break;
+      }
+    }
+    if (reachable) break;
+  }
+  if (reachable) return;
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.check = CheckId::kEmptyMatch;
+  d.location = entry_location(e);
+  std::ostringstream msg;
+  msg << "effective match is empty downstream: after the set-field rewrite, "
+         "no emitted packet matches any entry of table "
+      << target->second << " on switch " << target->first
+      << (next.empty() ? " (table is empty)" : "");
+  d.message = msg.str();
+  d.payload.emplace_back("target-switch", std::to_string(target->first));
+  d.payload.emplace_back("target-table", std::to_string(target->second));
+  report.add(std::move(d));
+}
+
+void check_dangling_actions(const RuleSet& rules, const FlowEntry& e,
+                            LintReport& report) {
+  if (e.action.type == flow::ActionType::kOutput &&
+      !valid_output_port(rules, e)) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.check = CheckId::kDanglingOutput;
+    d.location = entry_location(e);
+    d.message = "output to port " + std::to_string(e.action.out_port) +
+                " which has no link and no host (valid ports: 0.." +
+                std::to_string(rules.ports().host_port(e.switch_id)) + ")";
+    d.payload.emplace_back("port", std::to_string(e.action.out_port));
+    report.add(std::move(d));
+  }
+  if (e.action.type == flow::ActionType::kGotoTable &&
+      !valid_goto_target(rules, e)) {
+    const TableId t = e.action.next_table;
+    const bool missing = t < 0 || t >= rules.table_count(e.switch_id);
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.check = CheckId::kDanglingGoto;
+    d.location = entry_location(e);
+    d.message = std::string("goto-table to ") +
+                (missing ? "missing" : "empty") + " table " +
+                std::to_string(t);
+    d.payload.emplace_back("target-table", std::to_string(t));
+    report.add(std::move(d));
+  }
+}
+
+// Per-switch goto-table graph: cycle detection (error) and tables no goto
+// chain from table 0 reaches (warning).
+void check_goto_structure(const RuleSet& rules, LintReport& report) {
+  for (SwitchId sw = 0; sw < rules.switch_count(); ++sw) {
+    const int n_tables = rules.table_count(sw);
+    // edges[t] = deduplicated goto targets of entries in table t (only
+    // targets that exist; dangling gotos are reported separately).
+    std::vector<std::vector<TableId>> edges(
+        static_cast<std::size_t>(n_tables));
+    for (TableId t = 0; t < n_tables; ++t) {
+      for (const auto& e : rules.table(sw, t).entries()) {
+        if (e.action.type != flow::ActionType::kGotoTable) continue;
+        const TableId next = e.action.next_table;
+        if (next < 0 || next >= n_tables) continue;
+        auto& out = edges[static_cast<std::size_t>(t)];
+        if (std::find(out.begin(), out.end(), next) == out.end()) {
+          out.push_back(next);
+        }
+      }
+    }
+
+    // Tri-color DFS for the first cycle.
+    enum : std::uint8_t { kWhite, kGray, kBlack };
+    std::vector<std::uint8_t> color(static_cast<std::size_t>(n_tables),
+                                    kWhite);
+    std::vector<TableId> stack;
+    std::function<std::optional<std::vector<TableId>>(TableId)> dfs =
+        [&](TableId t) -> std::optional<std::vector<TableId>> {
+      color[static_cast<std::size_t>(t)] = kGray;
+      stack.push_back(t);
+      for (const TableId next : edges[static_cast<std::size_t>(t)]) {
+        if (color[static_cast<std::size_t>(next)] == kGray) {
+          // Cycle: suffix of the stack from `next` onward, closed by `t`.
+          const auto it = std::find(stack.begin(), stack.end(), next);
+          return std::vector<TableId>(it, stack.end());
+        }
+        if (color[static_cast<std::size_t>(next)] == kWhite) {
+          if (auto cycle = dfs(next)) return cycle;
+        }
+      }
+      stack.pop_back();
+      color[static_cast<std::size_t>(t)] = kBlack;
+      return std::nullopt;
+    };
+    for (TableId t = 0; t < n_tables; ++t) {
+      if (color[static_cast<std::size_t>(t)] != kWhite) continue;
+      if (auto cycle = dfs(t)) {
+        Diagnostic d;
+        d.severity = Severity::kError;
+        d.check = CheckId::kGotoCycle;
+        d.location = Location{sw, cycle->front(), -1};
+        d.message = "goto-table cycle through " +
+                    std::to_string(cycle->size()) + " table(s)";
+        d.payload.emplace_back("cycle", join_ids(*cycle));
+        report.add(std::move(d));
+        break;  // one cycle report per switch
+      }
+    }
+
+    // Reachability from table 0 over goto edges.
+    std::vector<std::uint8_t> reachable(static_cast<std::size_t>(n_tables),
+                                        0);
+    std::vector<TableId> frontier{0};
+    reachable[0] = 1;
+    while (!frontier.empty()) {
+      const TableId t = frontier.back();
+      frontier.pop_back();
+      for (const TableId next : edges[static_cast<std::size_t>(t)]) {
+        if (!reachable[static_cast<std::size_t>(next)]) {
+          reachable[static_cast<std::size_t>(next)] = 1;
+          frontier.push_back(next);
+        }
+      }
+    }
+    for (TableId t = 1; t < n_tables; ++t) {
+      if (reachable[static_cast<std::size_t>(t)] ||
+          rules.table(sw, t).empty()) {
+        continue;
+      }
+      Diagnostic d;
+      d.severity = Severity::kWarning;
+      d.check = CheckId::kUnreachableTable;
+      d.location = Location{sw, t, -1};
+      d.message = "table holds " +
+                  std::to_string(rules.table(sw, t).size()) +
+                  " entr(ies) but no goto chain from table 0 reaches it";
+      report.add(std::move(d));
+    }
+  }
+}
+
+void check_topology(const RuleSet& rules, LintReport& report) {
+  const topo::Graph& g = rules.topology();
+  for (topo::NodeId a = 0; a < g.node_count(); ++a) {
+    const auto& nbrs = g.neighbors(a);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const topo::NodeId b = nbrs[i];
+      // Duplicate port binding: two ports of `a` lead to the same peer.
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (nbrs[j] == b) {
+          Diagnostic d;
+          d.severity = Severity::kError;
+          d.check = CheckId::kTopologyDuplicatePort;
+          d.location = Location{a, -1, -1};
+          d.message = "ports " + std::to_string(i) + " and " +
+                      std::to_string(j) + " both bind neighbor " +
+                      std::to_string(b);
+          d.payload.emplace_back("peer", std::to_string(b));
+          report.add(std::move(d));
+        }
+      }
+      // Asymmetric adjacency: a lists b but b does not list a.
+      const auto& back = g.neighbors(b);
+      if (std::find(back.begin(), back.end(), a) == back.end()) {
+        Diagnostic d;
+        d.severity = Severity::kError;
+        d.check = CheckId::kTopologyAsymmetricLink;
+        d.location = Location{a, -1, -1};
+        d.message = "switch " + std::to_string(a) + " lists neighbor " +
+                    std::to_string(b) + " but not vice versa";
+        d.payload.emplace_back("peer", std::to_string(b));
+        report.add(std::move(d));
+      }
+    }
+  }
+  if (g.node_count() > 1 && !g.is_connected()) {
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.check = CheckId::kTopologyDisconnected;
+    d.message = "topology is not connected; probes cannot cross partitions";
+    report.add(std::move(d));
+  }
+}
+
+// The shared structural battery. `dead` says whether an entry's input space
+// is empty; `out_space` yields r.out for live entries. Both are backed by
+// the rule graph's caches in the snapshot run and computed directly in the
+// ruleset run.
+void lint_structural(const RuleSet& rules,
+                     const std::function<bool(EntryId)>& dead,
+                     const std::function<hsa::HeaderSpace(EntryId)>& out_space,
+                     LintReport& report) {
+  for (SwitchId sw = 0; sw < rules.switch_count(); ++sw) {
+    for (TableId t = 0; t < rules.table_count(sw); ++t) {
+      for (const auto& e : rules.table(sw, t).entries()) {
+        check_dangling_actions(rules, e, report);
+        if (dead(e.id)) {
+          add_shadowed_diagnostic(rules, e, report);
+        } else {
+          check_empty_match(rules, e, out_space(e.id), report);
+        }
+      }
+    }
+  }
+  check_goto_structure(rules, report);
+  check_topology(rules, report);
+}
+
+// Finds one directed cycle in the step-1 rule graph (which is_acyclic()
+// reported to exist) for the diagnostic payload.
+std::vector<core::VertexId> find_rule_graph_cycle(
+    const core::AnalysisSnapshot& snapshot) {
+  const int V = snapshot.vertex_count();
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(static_cast<std::size_t>(V), kWhite);
+  std::vector<core::VertexId> stack;
+  std::function<std::optional<std::vector<core::VertexId>>(core::VertexId)>
+      dfs = [&](core::VertexId v)
+      -> std::optional<std::vector<core::VertexId>> {
+    color[static_cast<std::size_t>(v)] = kGray;
+    stack.push_back(v);
+    for (const core::VertexId w : snapshot.successors(v)) {
+      if (color[static_cast<std::size_t>(w)] == kGray) {
+        const auto it = std::find(stack.begin(), stack.end(), w);
+        return std::vector<core::VertexId>(it, stack.end());
+      }
+      if (color[static_cast<std::size_t>(w)] == kWhite) {
+        if (auto cycle = dfs(w)) return cycle;
+      }
+    }
+    stack.pop_back();
+    color[static_cast<std::size_t>(v)] = kBlack;
+    return std::nullopt;
+  };
+  for (core::VertexId v = 0; v < V; ++v) {
+    if (color[static_cast<std::size_t>(v)] == kWhite) {
+      if (auto cycle = dfs(v)) return *cycle;
+    }
+  }
+  return {};
+}
+
+void lint_rule_graph(const core::AnalysisSnapshot& snapshot,
+                     const LintConfig& config, LintReport& report) {
+  const RuleSet& rules = snapshot.rules();
+
+  if (!snapshot.graph().is_acyclic()) {
+    const auto cycle = find_rule_graph_cycle(snapshot);
+    std::vector<int> entry_ids;
+    for (const core::VertexId v : cycle) {
+      entry_ids.push_back(snapshot.entry_of(v));
+    }
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.check = CheckId::kRuleGraphCycle;
+    if (!cycle.empty()) {
+      d.location = entry_location(rules.entry(entry_ids.front()));
+    }
+    d.message = "rule graph has a directed cycle of " +
+                std::to_string(cycle.size()) +
+                " entr(ies); the policy can forward packets in a loop";
+    d.payload.emplace_back("cycle-entries", join_ids(entry_ids));
+    report.add(std::move(d));
+  }
+
+  for (core::VertexId v = 0; v < snapshot.vertex_count(); ++v) {
+    if (!snapshot.is_active(v)) continue;
+    if (!snapshot.in_space(v).is_empty() &&
+        !snapshot.out_space(v).is_empty()) {
+      continue;
+    }
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.check = CheckId::kEmptyVertexSpace;
+    d.location = entry_location(rules.entry(snapshot.entry_of(v)));
+    d.message = "active rule-graph vertex has an empty legal header space";
+    report.add(std::move(d));
+  }
+
+  // SAT cross-check: every edge's transfer function (out(u) ∩ in(w)) must
+  // admit a concrete witness header. HSA says it does (the edge exists);
+  // the CNF encoding must agree.
+  if (config.sat_edge_budget == 0) return;
+  std::size_t checked = 0;
+  bool truncated = false;
+  for (core::VertexId u = 0; u < snapshot.vertex_count() && !truncated; ++u) {
+    for (const core::VertexId w : snapshot.successors(u)) {
+      if (checked == config.sat_edge_budget) {
+        truncated = true;
+        break;
+      }
+      ++checked;
+      const hsa::HeaderSpace edge_space =
+          snapshot.out_space(u).intersect(snapshot.in_space(w));
+      const bool witness =
+          !edge_space.is_empty() &&
+          sat::solve_header_in(edge_space).has_value();
+      if (witness) continue;
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.check = CheckId::kUnsatEdge;
+      d.location = entry_location(rules.entry(snapshot.entry_of(u)));
+      d.message =
+          "edge transfer function is unsatisfiable: no concrete header "
+          "witnesses out(" +
+          std::to_string(snapshot.entry_of(u)) + ") ∩ in(" +
+          std::to_string(snapshot.entry_of(w)) + ")";
+      d.payload.emplace_back("to-entry",
+                             std::to_string(snapshot.entry_of(w)));
+      report.add(std::move(d));
+    }
+  }
+  if (truncated) {
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.check = CheckId::kUnsatEdge;
+    d.message = "SAT edge discharge truncated at " +
+                std::to_string(config.sat_edge_budget) + " of " +
+                std::to_string(snapshot.graph().edge_count()) + " edges";
+    report.add(std::move(d));
+  }
+}
+
+}  // namespace
+
+LintReport Linter::run(const RuleSet& rules) const {
+  LintReport report;
+  lint_structural(
+      rules,
+      [&rules](EntryId id) { return rules.input_space(id).is_empty(); },
+      [&rules](EntryId id) { return rules.output_space(id); }, report);
+  return report;
+}
+
+LintReport Linter::run(const core::AnalysisSnapshot& snapshot) const {
+  const RuleSet& rules = snapshot.rules();
+  LintReport report;
+  lint_structural(
+      rules,
+      [&snapshot](EntryId id) { return snapshot.vertex_for(id) < 0; },
+      [&snapshot](EntryId id) {
+        const core::VertexId v = snapshot.vertex_for(id);
+        SDNPROBE_DCHECK_GE(v, 0) << "out_space queried for dead entry " << id;
+        return snapshot.out_space(v);
+      },
+      report);
+  if (config_.rule_graph_checks) {
+    lint_rule_graph(snapshot, config_, report);
+  }
+  return report;
+}
+
+namespace {
+
+std::string lint_error_summary(const LintReport& report) {
+  std::string msg = "strict lint rejected the ruleset: " +
+                    std::to_string(report.count(Severity::kError)) +
+                    " error(s)";
+  for (const auto& d : report.diagnostics()) {
+    if (d.severity == Severity::kError) {
+      msg += "; first: " + d.to_string();
+      break;
+    }
+  }
+  return msg;
+}
+
+}  // namespace
+
+LintError::LintError(LintReport report)
+    : std::runtime_error(lint_error_summary(report)),
+      report_(std::move(report)) {}
+
+core::AnalysisSnapshot build_checked_snapshot(const flow::RuleSet& rules,
+                                              const LintConfig& config,
+                                              LintReport* report_out) {
+  core::AnalysisSnapshot snapshot = core::AnalysisSnapshot::build(rules);
+  LintReport report = Linter(config).run(snapshot);
+  if (config.strict && report.has_errors()) {
+    throw LintError(std::move(report));
+  }
+  if (report_out != nullptr) *report_out = std::move(report);
+  return snapshot;
+}
+
+}  // namespace sdnprobe::analysis

@@ -1,0 +1,106 @@
+// analysis::Linter — static verification of rulesets, topologies, and rule
+// graphs *before* any probe is sent.
+//
+// SDNProbe's pipeline (rule graph -> MLPC -> probe generation ->
+// localization) assumes well-formed inputs: a shadowed entry, a goto-table
+// cycle, or a dangling output port corrupts the rule graph and surfaces as a
+// confusing downstream failure. The linter detects these defects statically,
+// reusing the paper's own §V-A header-space algebra (overlap queries,
+// difference, set-field transforms) plus the SAT encoder as an independent
+// cross-check.
+//
+// Check catalogue (see diagnostic.h for ids):
+//   shadowed-entry     W  entry fully covered by strictly-higher-priority
+//                         overlapping matches (r.in = ∅, §V-A); warning
+//                         because realistic rulesets produce these
+//                         legitimately (prefix aggregation + route
+//                         diversity) and traffic is still handled
+//   empty-match        E  the effective match is empty after set-field /
+//                         intersection along every forwarding continuation:
+//                         no packet the entry emits can match the next table
+//   goto-cycle         E  cycle in a switch's goto-table graph
+//   dangling-output    E  output action to a port with no link and no host
+//   dangling-goto      E  goto to a missing or empty table
+//   unreachable-table  W  a non-0 table no goto chain from table 0 reaches
+//   topology-*         E/W asymmetric adjacency, duplicate port bindings
+//                         (E); disconnected topology (W)
+//   rule-graph-cycle   E  directed cycle in the step-1 rule graph (violates
+//                         the paper's standing acyclicity assumption)
+//   empty-vertex-space E  active vertex with an empty in/out header space
+//                         (internal invariant; should never fire)
+//   unsat-edge         E  rule-graph edge whose transfer function the SAT
+//                         encoder cannot satisfy (HSA vs SAT cross-check)
+//
+// Severity model: errors are defects that make analysis results wrong or
+// meaningless; warnings are suspicious-but-functional structure; infos are
+// notes (e.g. a truncated check). `LintConfig::strict` upgrades the
+// contract: analysis::build_checked_snapshot refuses to hand out a snapshot
+// over a ruleset with error-severity findings.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "core/analysis_snapshot.h"
+#include "flow/ruleset.h"
+
+namespace sdnprobe::analysis {
+
+struct LintConfig {
+  // Error-severity diagnostics abort snapshot construction in
+  // build_checked_snapshot (throwing LintError).
+  bool strict = false;
+  // Run the snapshot-only battery (rule-graph cycle / vertex spaces / SAT
+  // edge discharge) in Linter::run(const AnalysisSnapshot&).
+  bool rule_graph_checks = true;
+  // Maximum number of rule-graph edges discharged through the SAT encoder
+  // (0 disables the check). When the graph has more edges, the first
+  // `sat_edge_budget` in deterministic order are checked and an info
+  // diagnostic records the truncation.
+  std::size_t sat_edge_budget = 512;
+};
+
+class Linter {
+ public:
+  explicit Linter(LintConfig config = {}) : config_(config) {}
+
+  // Structural battery over the control-plane view: shadowing, goto-table
+  // cycles, unreachable tables, dangling actions, empty forwarding matches,
+  // topology consistency.
+  LintReport run(const flow::RuleSet& rules) const;
+
+  // Full battery: everything above (shadowing read off the graph's dead
+  // entries instead of recomputed) plus the rule-graph invariants.
+  LintReport run(const core::AnalysisSnapshot& snapshot) const;
+
+  const LintConfig& config() const { return config_; }
+
+ private:
+  LintConfig config_;
+};
+
+// Thrown by build_checked_snapshot when strict linting rejects the input.
+class LintError : public std::runtime_error {
+ public:
+  explicit LintError(LintReport report);
+  const LintReport& report() const { return report_; }
+
+ private:
+  LintReport report_;
+};
+
+// The strict-mode entry point to snapshot construction: builds the rule
+// graph + snapshot from `rules`, lints it, and
+//   - with config.strict and error-severity findings: throws LintError
+//     (construction is aborted; no snapshot escapes);
+//   - otherwise: returns the snapshot (and the full report through
+//     `report_out` when non-null).
+// `rules` must outlive the returned snapshot, as with
+// core::AnalysisSnapshot::build.
+core::AnalysisSnapshot build_checked_snapshot(const flow::RuleSet& rules,
+                                              const LintConfig& config = {},
+                                              LintReport* report_out = nullptr);
+
+}  // namespace sdnprobe::analysis

@@ -27,6 +27,7 @@
 
 #include "core/rule_graph.h"
 #include "hsa/header_space.h"
+#include "util/check.h"
 
 namespace sdnprobe::core {
 
@@ -88,6 +89,7 @@ class AnalysisSnapshot {
   // be claimed by us or it stays a singleton); precomputing it turns a
   // per-DFS-step stable_sort into a lookup shared by all restarts/workers.
   const std::vector<VertexId>& successors_by_fanin(VertexId v) const {
+    SDNPROBE_DCHECK_LT(static_cast<std::size_t>(v), succ_by_fanin_.size());
     return succ_by_fanin_[static_cast<std::size_t>(v)];
   }
 

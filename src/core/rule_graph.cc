@@ -1,10 +1,10 @@
 #include "core/rule_graph.h"
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
 #include <unordered_map>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace sdnprobe::core {
@@ -220,7 +220,9 @@ void RuleGraph::connect_vertex(VertexId v) {
 }
 
 VertexId RuleGraph::apply_entry_added(flow::EntryId id) {
-  assert(static_cast<std::size_t>(id) < rules_->entry_count());
+  SDNPROBE_CHECK_GE(id, 0);
+  SDNPROBE_CHECK_LT(static_cast<std::size_t>(id), rules_->entry_count())
+      << "apply_entry_added must follow RuleSet::add_entry on the same set";
   if (vertex_of_entry_.size() <= static_cast<std::size_t>(id)) {
     vertex_of_entry_.resize(static_cast<std::size_t>(id) + 1, -1);
   }
@@ -274,6 +276,7 @@ VertexId RuleGraph::vertex_for(flow::EntryId id) const {
 
 hsa::HeaderSpace RuleGraph::propagate(const hsa::HeaderSpace& incoming,
                                       VertexId v) const {
+  SDNPROBE_DCHECK_EQ(incoming.width(), rules_->header_width());
   return incoming.intersect(in_space(v))
       .transform(rules_->entry(entry_of(v)).set_field);
 }

@@ -20,6 +20,7 @@
 
 #include "flow/ruleset.h"
 #include "hsa/header_space.h"
+#include "util/check.h"
 
 namespace sdnprobe::core {
 
@@ -37,6 +38,8 @@ class RuleGraph {
 
   int vertex_count() const { return static_cast<int>(entry_of_.size()); }
   flow::EntryId entry_of(VertexId v) const {
+    SDNPROBE_DCHECK_GE(v, 0);
+    SDNPROBE_DCHECK_LT(static_cast<std::size_t>(v), entry_of_.size());
     return entry_of_[static_cast<std::size_t>(v)];
   }
   // Vertex for an entry id; -1 if the entry is dead (untestable).
@@ -65,9 +68,11 @@ class RuleGraph {
 
   // Cached r.in / r.out header spaces (non-empty by construction).
   const hsa::HeaderSpace& in_space(VertexId v) const {
+    SDNPROBE_DCHECK_LT(static_cast<std::size_t>(v), in_.size());
     return in_[static_cast<std::size_t>(v)];
   }
   const hsa::HeaderSpace& out_space(VertexId v) const {
+    SDNPROBE_DCHECK_LT(static_cast<std::size_t>(v), out_.size());
     return out_[static_cast<std::size_t>(v)];
   }
 

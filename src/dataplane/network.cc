@@ -1,7 +1,6 @@
 #include "dataplane/network.h"
 
-#include <cassert>
-
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace sdnprobe::dataplane {
@@ -12,6 +11,7 @@ Network::Network(const flow::RuleSet& rules, sim::EventLoop& loop,
       loop_(&loop),
       config_(config),
       tables_(static_cast<std::size_t>(rules.switch_count())) {
+  SDNPROBE_CHECK_GT(config_.max_hops, 0);
   for (flow::SwitchId s = 0; s < rules.switch_count(); ++s) {
     const int n_tables = rules.table_count(s);
     auto& sw_tables = tables_[static_cast<std::size_t>(s)];
@@ -25,8 +25,11 @@ Network::Network(const flow::RuleSet& rules, sim::EventLoop& loop,
 }
 
 void Network::install_entry(const flow::FlowEntry& e) {
-  assert(e.switch_id >= 0 &&
-         e.switch_id < static_cast<int>(tables_.size()));
+  SDNPROBE_CHECK_GE(e.switch_id, 0);
+  SDNPROBE_CHECK_LT(e.switch_id, static_cast<int>(tables_.size()));
+  SDNPROBE_CHECK_GE(e.table_id, 0);
+  SDNPROBE_CHECK_EQ(e.match.width(), rules_->header_width())
+      << "installed entry header width must match the network's ruleset";
   auto& sw_tables = tables_[static_cast<std::size_t>(e.switch_id)];
   if (static_cast<std::size_t>(e.table_id) >= sw_tables.size()) {
     sw_tables.resize(static_cast<std::size_t>(e.table_id) + 1);
@@ -79,6 +82,9 @@ void Network::update_entry(flow::SwitchId sw, flow::TableId table,
 }
 
 void Network::packet_out(flow::SwitchId sw, Packet p) {
+  SDNPROBE_CHECK_GE(sw, 0);
+  SDNPROBE_CHECK_LT(sw, static_cast<int>(tables_.size()));
+  SDNPROBE_DCHECK_EQ(p.header.width(), rules_->header_width());
   ++counters_.packets_injected;
   loop_->schedule_in(config_.control_latency_s, [this, sw, p = std::move(p)] {
     arrive(sw, p);

@@ -1,7 +1,8 @@
 #include "flow/ruleset.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace sdnprobe::flow {
 
@@ -36,12 +37,17 @@ RuleSet::RuleSet(topo::Graph topology, int header_width)
       tables_(static_cast<std::size_t>(topology_.node_count())) {}
 
 EntryId RuleSet::add_entry(FlowEntry e) {
-  assert(e.switch_id >= 0 && e.switch_id < switch_count());
-  assert(e.match.width() == header_width_);
+  SDNPROBE_CHECK_GE(e.switch_id, 0);
+  SDNPROBE_CHECK_LT(e.switch_id, switch_count());
+  SDNPROBE_CHECK_GE(e.table_id, 0);
+  SDNPROBE_CHECK_EQ(e.match.width(), header_width_)
+      << "match width must equal the ruleset header width";
   e.id = static_cast<EntryId>(entries_.size());
   if (e.set_field.width() == 0) {
     e.set_field = hsa::TernaryString::wildcard(header_width_);
   }
+  SDNPROBE_CHECK_EQ(e.set_field.width(), header_width_)
+      << "set field width must equal the ruleset header width";
   auto& sw_tables = tables_[static_cast<std::size_t>(e.switch_id)];
   if (static_cast<std::size_t>(e.table_id) >= sw_tables.size()) {
     sw_tables.resize(static_cast<std::size_t>(e.table_id) + 1);

@@ -11,6 +11,7 @@
 #include "flow/table.h"
 #include "hsa/header_space.h"
 #include "topo/graph.h"
+#include "util/check.h"
 
 namespace sdnprobe::flow {
 
@@ -54,6 +55,8 @@ class RuleSet {
 
   std::size_t entry_count() const { return entries_.size(); }
   const FlowEntry& entry(EntryId id) const {
+    SDNPROBE_DCHECK_GE(id, 0);
+    SDNPROBE_DCHECK_LT(static_cast<std::size_t>(id), entries_.size());
     return entries_[static_cast<std::size_t>(id)];
   }
   const std::vector<FlowEntry>& entries() const { return entries_; }

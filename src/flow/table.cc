@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace sdnprobe::flow {
 
 void FlowTable::insert(const FlowEntry& e) {
+  SDNPROBE_DCHECK_GT(e.match.width(), 0) << "entry has no match field";
+  if (!entries_.empty()) {
+    SDNPROBE_DCHECK_EQ(e.match.width(), entries_.front().match.width())
+        << "all entries of a table must share one header width";
+  }
   // Stable position: after all entries with priority >= e.priority.
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&e](const FlowEntry& x) {
@@ -22,6 +29,9 @@ bool FlowTable::erase(EntryId id) {
 }
 
 const FlowEntry* FlowTable::lookup(const hsa::TernaryString& header) const {
+  if (!entries_.empty()) {
+    SDNPROBE_DCHECK_EQ(header.width(), entries_.front().match.width());
+  }
   for (const auto& e : entries_) {
     if (e.match.covers(header)) return &e;
   }

@@ -1,0 +1,28 @@
+#include "util/check.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace sdnprobe::util::internal {
+namespace {
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << "[CHECK] " << basename_of(file) << ':' << line << ": "
+          << condition << ' ';
+}
+
+CheckFailure::~CheckFailure() {
+  stream_ << '\n';
+  std::cerr << stream_.str() << std::flush;
+  std::abort();
+}
+
+}  // namespace sdnprobe::util::internal

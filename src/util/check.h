@@ -1,0 +1,109 @@
+// Contract-check macros: the repository's replacement for naked assert()
+// and silently-assumed preconditions.
+//
+//   SDNPROBE_CHECK(cond)            always on; aborts with file:line + text
+//   SDNPROBE_CHECK_EQ/NE/LT/LE/GT/GE(a, b)
+//                                   same, printing both operand values
+//   SDNPROBE_DCHECK*(...)           compiled out entirely under NDEBUG
+//                                   (operands are type-checked, not evaluated)
+//
+// All forms accept extra streamed context:
+//   SDNPROBE_CHECK_LT(port, n_ports) << "switch " << sw;
+//
+// A failed check writes one line to stderr and calls std::abort(); checks
+// guard programmer contracts (bounds, invariants), not recoverable input
+// errors — those go through analysis::Linter diagnostics instead.
+#pragma once
+
+#include <sstream>
+
+namespace sdnprobe::util::internal {
+
+// Builds the failure message; the destructor prints and aborts. Modeled on
+// logging.h's LogMessage so checks and logs share one output style.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Sink for disabled DCHECKs: swallows streamed context at zero cost.
+struct NullCheckStream {
+  template <typename T>
+  NullCheckStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Captures both operands of a binary check exactly once so the failure
+// message can print them. Operands are stored by value (scalar-sized types
+// are the intended use).
+template <typename A, typename B>
+struct CheckOperands {
+  A lhs;
+  B rhs;
+};
+
+template <typename A, typename B>
+CheckOperands<A, B> check_operands(A a, B b) {
+  return CheckOperands<A, B>{a, b};
+}
+
+}  // namespace sdnprobe::util::internal
+
+#define SDNPROBE_CHECK(cond)                \
+  while (!(cond))                           \
+  ::sdnprobe::util::internal::CheckFailure( \
+      __FILE__, __LINE__, "SDNPROBE_CHECK(" #cond ") failed")
+
+// for-loop trick: operands are evaluated once into `sdnprobe_check_ops_`;
+// on failure the CheckFailure temporary aborts at the end of the statement,
+// so the loop never iterates.
+#define SDNPROBE_CHECK_OP_(a, b, op)                                     \
+  for (const auto sdnprobe_check_ops_ =                                  \
+           ::sdnprobe::util::internal::check_operands((a), (b));         \
+       !(sdnprobe_check_ops_.lhs op sdnprobe_check_ops_.rhs);)           \
+  ::sdnprobe::util::internal::CheckFailure(                              \
+      __FILE__, __LINE__, "SDNPROBE_CHECK(" #a " " #op " " #b ") failed") \
+      << "(" << sdnprobe_check_ops_.lhs << " vs " << sdnprobe_check_ops_.rhs \
+      << ") "
+
+#define SDNPROBE_CHECK_EQ(a, b) SDNPROBE_CHECK_OP_(a, b, ==)
+#define SDNPROBE_CHECK_NE(a, b) SDNPROBE_CHECK_OP_(a, b, !=)
+#define SDNPROBE_CHECK_LT(a, b) SDNPROBE_CHECK_OP_(a, b, <)
+#define SDNPROBE_CHECK_LE(a, b) SDNPROBE_CHECK_OP_(a, b, <=)
+#define SDNPROBE_CHECK_GT(a, b) SDNPROBE_CHECK_OP_(a, b, >)
+#define SDNPROBE_CHECK_GE(a, b) SDNPROBE_CHECK_OP_(a, b, >=)
+
+#ifndef NDEBUG
+#define SDNPROBE_DCHECK(cond) SDNPROBE_CHECK(cond)
+#define SDNPROBE_DCHECK_EQ(a, b) SDNPROBE_CHECK_EQ(a, b)
+#define SDNPROBE_DCHECK_NE(a, b) SDNPROBE_CHECK_NE(a, b)
+#define SDNPROBE_DCHECK_LT(a, b) SDNPROBE_CHECK_LT(a, b)
+#define SDNPROBE_DCHECK_LE(a, b) SDNPROBE_CHECK_LE(a, b)
+#define SDNPROBE_DCHECK_GT(a, b) SDNPROBE_CHECK_GT(a, b)
+#define SDNPROBE_DCHECK_GE(a, b) SDNPROBE_CHECK_GE(a, b)
+#else
+// `false &&` keeps the condition type-checked but unevaluated; the whole
+// statement is dead code the optimizer removes.
+#define SDNPROBE_DCHECK_DISABLED_(cond) \
+  while (false && (cond)) ::sdnprobe::util::internal::NullCheckStream()
+#define SDNPROBE_DCHECK(cond) SDNPROBE_DCHECK_DISABLED_(!!(cond))
+#define SDNPROBE_DCHECK_EQ(a, b) SDNPROBE_DCHECK_DISABLED_((a) == (b))
+#define SDNPROBE_DCHECK_NE(a, b) SDNPROBE_DCHECK_DISABLED_((a) != (b))
+#define SDNPROBE_DCHECK_LT(a, b) SDNPROBE_DCHECK_DISABLED_((a) < (b))
+#define SDNPROBE_DCHECK_LE(a, b) SDNPROBE_DCHECK_DISABLED_((a) <= (b))
+#define SDNPROBE_DCHECK_GT(a, b) SDNPROBE_DCHECK_DISABLED_((a) > (b))
+#define SDNPROBE_DCHECK_GE(a, b) SDNPROBE_DCHECK_DISABLED_((a) >= (b))
+#endif

@@ -1,12 +1,24 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
 
 namespace sdnprobe::util {
 namespace {
 
-std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+// Initial threshold: SDNPROBE_LOG if set to a recognized level, else kWarn.
+// Unrecognized values fall back silently (logging is not yet configured, so
+// there is nowhere trustworthy to complain to).
+LogLevel initial_threshold() {
+  if (const char* env = std::getenv("SDNPROBE_LOG")) {
+    if (auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_threshold{initial_threshold()};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -34,6 +46,21 @@ LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
 
 void set_log_threshold(LogLevel level) {
   g_threshold.store(level, std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
 }
 
 namespace internal {

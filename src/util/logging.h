@@ -3,17 +3,26 @@
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace sdnprobe::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 // Global log threshold; messages below it are discarded. Defaults to kWarn so
-// library users are not spammed unless they opt in.
+// library users are not spammed unless they opt in. The default can be
+// overridden without recompiling via the SDNPROBE_LOG environment variable
+// ("debug" | "info" | "warn" | "error" | "off", case-insensitive), read once
+// at process start; set_log_threshold() still wins afterwards.
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
+
+// Parses a level name ("debug"/"info"/"warn"/"warning"/"error"/"off",
+// case-insensitive); nullopt on anything else. Exposed for tests and CLIs.
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 namespace internal {
 

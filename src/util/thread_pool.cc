@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/check.h"
+
 namespace sdnprobe::util {
 
 ThreadPool::ThreadPool(std::size_t worker_count) {
@@ -25,8 +27,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  SDNPROBE_CHECK(task != nullptr) << "enqueue of an empty task";
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SDNPROBE_CHECK(!stop_) << "enqueue on a ThreadPool being destroyed";
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -78,6 +82,7 @@ void TaskGroup::spawn(std::function<void()> fn) {
 
 void TaskGroup::finish(std::size_t index, std::exception_ptr error) {
   std::lock_guard<std::mutex> lock(mu_);
+  SDNPROBE_DCHECK_GT(inflight_, 0u) << "finish without a matching spawn";
   if (error && (!first_error_ || index < first_error_index_)) {
     first_error_ = error;
     first_error_index_ = index;

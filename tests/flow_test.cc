@@ -1,7 +1,9 @@
 // Tests for flow tables, rulesets, the K-path synthesizer, and the campus
-// ruleset generator.
+// ruleset generator. The generator tests double as linter self-checks: the
+// rulesets they produce must stay free of error-severity diagnostics.
 #include <gtest/gtest.h>
 
+#include "analysis/linter.h"
 #include "flow/campus.h"
 #include "flow/synthesizer.h"
 #include "topo/generator.h"
@@ -55,6 +57,52 @@ TEST(FlowTable, InputSpaceSubtractsOverlaps) {
   EXPECT_TRUE(t.input_space(2).contains(ts("00100111")));
 }
 
+TEST(FlowTable, OverlappingAboveReturnsHigherPriorityOverlapsOnly) {
+  FlowTable t;
+  FlowEntry wide;
+  wide.id = 1;
+  wide.priority = 10;
+  wide.match = ts("001xxxxx");
+  FlowEntry above;
+  above.id = 2;
+  above.priority = 20;
+  above.match = ts("00100xxx");
+  FlowEntry disjoint;
+  disjoint.id = 3;
+  disjoint.priority = 30;
+  disjoint.match = ts("111xxxxx");
+  t.insert(wide);
+  t.insert(above);
+  t.insert(disjoint);
+
+  // The wide entry is overlapped from above by `above` only: `disjoint` has
+  // higher priority but no shared packet.
+  const auto over_wide = t.overlapping_above(wide);
+  ASSERT_EQ(over_wide.size(), 1u);
+  EXPECT_EQ(over_wide[0]->id, 2);
+
+  // The top-priority entries see nothing above them.
+  EXPECT_TRUE(t.overlapping_above(above).empty());
+  EXPECT_TRUE(t.overlapping_above(disjoint).empty());
+}
+
+TEST(FlowTable, OverlappingAboveIgnoresEqualPriority) {
+  FlowTable t;
+  FlowEntry a;
+  a.id = 1;
+  a.priority = 10;
+  a.match = ts("00xxxxxx");
+  FlowEntry b;
+  b.id = 2;
+  b.priority = 10;
+  b.match = ts("000xxxxx");
+  t.insert(a);
+  t.insert(b);
+  // Equal priority is not "strictly higher": neither shadows the other.
+  EXPECT_TRUE(t.overlapping_above(a).empty());
+  EXPECT_TRUE(t.overlapping_above(b).empty());
+}
+
 TEST(FlowTable, EraseRemovesEntry) {
   FlowTable t;
   FlowEntry e;
@@ -105,6 +153,17 @@ TEST_P(SynthesizerProperty, WellFormedRuleset) {
         e.action.out_port == rs.ports().host_port(e.switch_id);
     EXPECT_TRUE(peer.has_value() || is_host_port) << e.to_string();
   }
+
+  // Linter self-check: synthesized rulesets carry no error-severity defects.
+  // Warnings (fully shadowed entries from prefix aggregation + route
+  // diversity) are expected; every warning must be a shadowed-entry finding,
+  // nothing else.
+  const analysis::LintReport report = analysis::Linter().run(rs);
+  EXPECT_EQ(report.count(analysis::Severity::kError), 0u)
+      << report.to_string();
+  EXPECT_EQ(report.count(analysis::Severity::kWarning),
+            report.count(analysis::CheckId::kShadowedEntry))
+      << report.to_string();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SynthesizerProperty,
@@ -143,6 +202,14 @@ TEST(Campus, MatchesPaperShape) {
   for (const auto& e : rs.entries()) {
     EXPECT_FALSE(rs.input_space(e.id).is_empty()) << e.to_string();
   }
+
+  // Linter self-check: the campus generator builds overlap chains, never
+  // full shadows, so the ruleset lints completely clean — zero diagnostics
+  // at any severity.
+  const analysis::LintReport report = analysis::Linter().run(rs);
+  EXPECT_EQ(report.count(analysis::Severity::kError), 0u)
+      << report.to_string();
+  EXPECT_EQ(report.size(), 0u) << report.to_string();
 }
 
 TEST(Campus, ConfigurableSizes) {

@@ -1,9 +1,11 @@
 // Tests for the utility layer: RNG determinism and distribution sanity,
-// streaming statistics, quantiles, and confusion-count arithmetic.
+// streaming statistics, quantiles, confusion-count arithmetic, and log-level
+// parsing (the SDNPROBE_LOG environment override).
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -150,6 +152,37 @@ TEST(ConfusionCountsTest, RatesAndAccumulation) {
   const ConfusionCounts empty;
   EXPECT_DOUBLE_EQ(empty.false_positive_rate(), 0.0);
   EXPECT_DOUBLE_EQ(empty.false_negative_rate(), 0.0);
+}
+
+TEST(Logging, ParseLogLevelRecognizesAllNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST(Logging, ParseLogLevelIsCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("OFF"), LogLevel::kOff);
+}
+
+TEST(Logging, ParseLogLevelRejectsUnknownNames) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("warn "), std::nullopt);
+  EXPECT_EQ(parse_log_level("2"), std::nullopt);
+}
+
+TEST(Logging, SetLogThresholdRoundTrips) {
+  const LogLevel before = log_threshold();
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  set_log_threshold(before);
+  EXPECT_EQ(log_threshold(), before);
 }
 
 }  // namespace

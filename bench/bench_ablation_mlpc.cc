@@ -62,6 +62,7 @@ std::vector<std::vector<core::VertexId>> plain_mpc(
 int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   bench::print_header("Ablation: MLPC ingredients", "DESIGN.md ablations");
+  bench::BenchReport report("ablation_mlpc", "DESIGN.md ablations", full);
   bench::WorkloadSpec spec;
   spec.switches = full ? 30 : 20;
   spec.links = full ? 54 : 36;
@@ -72,6 +73,8 @@ int main(int argc, char** argv) {
   const core::AnalysisSnapshot snap(graph);
   std::printf("workload: %zu rules, %d testable vertices\n\n",
               w.rules.entry_count(), graph.vertex_count());
+  report.set_param("rules", std::uint64_t{w.rules.entry_count()});
+  report.set_param("testable_vertices", graph.vertex_count());
 
   // (a) Legality matters: plain MPC paths that no packet can traverse.
   {
@@ -85,6 +88,8 @@ int main(int argc, char** argv) {
                 mpc.size(), illegal,
                 100.0 * static_cast<double>(illegal) /
                     static_cast<double>(mpc.size()));
+    report.set_summary("plain_mpc_paths", std::uint64_t{mpc.size()});
+    report.set_summary("plain_mpc_illegal_paths", std::uint64_t{illegal});
   }
 
   // (b) Greedy-only vs augmented vs augmented+restarts.
@@ -105,6 +110,12 @@ int main(int argc, char** argv) {
                 "+best-of-%d restarts %zu\n",
                 crippled.path_count(), one_pass.path_count(),
                 full_cfg.deterministic_restarts, best.path_count());
+    report.set_summary("greedy_only_probes",
+                       std::uint64_t{crippled.path_count()});
+    report.set_summary("augmented_probes",
+                       std::uint64_t{one_pass.path_count()});
+    report.set_summary("best_of_restarts_probes",
+                       std::uint64_t{best.path_count()});
   }
 
   // (c) Randomized acceptance probability: probe count & terminal spread.
@@ -125,6 +136,10 @@ int main(int argc, char** argv) {
       }
       std::printf("    %8.2f %10.0f %18zu\n", accept, probes.mean(),
                   terminals.size());
+      auto& row = report.add_row();
+      row["accept_probability"] = accept;
+      row["mean_probes"] = probes.mean();
+      row["distinct_terminals"] = std::uint64_t{terminals.size()};
     }
   }
   return 0;

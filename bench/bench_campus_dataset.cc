@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
   (void)full;
   bench::print_header("Campus dataset: probes + SAT header synthesis",
                       "SDNProbe ICDCS'18 SectionVIII-A");
+  bench::BenchReport report("campus_dataset",
+                            "SDNProbe ICDCS'18 SectionVIII-A", full);
 
   flow::CampusConfig cc;  // paper's table sizes and overlap depth
   const flow::RuleSet rs = flow::make_campus_ruleset(cc);
@@ -28,6 +30,8 @@ int main(int argc, char** argv) {
               rs.table(0, 0).size(), rs.table(1, 0).size());
   std::printf("max overlapping-rule chain: %d (paper: 65)\n",
               rs.max_overlap_chain());
+  report.set_param("entries", std::uint64_t{rs.entry_count()});
+  report.set_param("max_overlap_chain", rs.max_overlap_chain());
 
   util::WallTimer build_timer;
   core::RuleGraph graph(rs);
@@ -42,6 +46,8 @@ int main(int argc, char** argv) {
               "(paper: 600 for 1,129)\n",
               cover.path_count(), rs.entry_count());
   std::printf("MLPC time: %.1f ms\n", mlpc_timer.elapsed_millis());
+  report.set_summary("test_packets", std::uint64_t{cover.path_count()});
+  report.set_summary("mlpc_ms", mlpc_timer.elapsed_millis());
 
   // Per-header SAT synthesis latency over the most-overlapped rules: for
   // each entry whose input space required subtracting overlap chains, solve
@@ -66,6 +72,10 @@ int main(int argc, char** argv) {
                 "%.3f-%.3f ms (mean %.3f ms; paper: 0.5-2.4 ms on 2017 "
                 "hardware)\n",
                 solved, solve_ms.min(), solve_ms.max(), solve_ms.mean());
+    report.set_summary("sat_rules_timed", solved);
+    report.set_summary("sat_min_ms", solve_ms.min());
+    report.set_summary("sat_max_ms", solve_ms.max());
+    report.set_summary("sat_mean_ms", solve_ms.mean());
   }
 
   // End-to-end check: every probe traverses its path on a clean data plane.
@@ -79,5 +89,10 @@ int main(int argc, char** argv) {
               probes.size(),
               static_cast<unsigned long long>(engine.stats().headers_by_sampling),
               static_cast<unsigned long long>(engine.stats().headers_by_sat));
+  report.set_summary("probes", std::uint64_t{probes.size()});
+  report.set_summary("headers_by_sampling",
+                     std::uint64_t{engine.stats().headers_by_sampling});
+  report.set_summary("headers_by_sat",
+                     std::uint64_t{engine.stats().headers_by_sat});
   return 0;
 }

@@ -83,6 +83,8 @@ int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   bench::print_header("Fig 8(b): delay to localize one faulty switch",
                       "SDNProbe ICDCS'18 Figure 8(b)");
+  bench::BenchReport report("fig8b_single_fault_delay",
+                            "SDNProbe ICDCS'18 Figure 8(b)", full);
   struct Size {
     int switches, links;
     long rules;
@@ -107,6 +109,14 @@ int main(int argc, char** argv) {
     std::printf("%8zu | %8.2fs %10.2fs %8.2fs %8.2fs | %s\n",
                 w.rules.entry_count(), row.sdnprobe, row.randomized, row.atpg,
                 row.per_rule, row.all_correct ? "yes" : "NO");
+    auto& out = report.add_row();
+    out["rules"] = std::uint64_t{w.rules.entry_count()};
+    out["switches"] = sizes[i].switches;
+    out["sdnprobe_delay_s"] = row.sdnprobe;
+    out["randomized_delay_s"] = row.randomized;
+    out["atpg_delay_s"] = row.atpg;
+    out["per_rule_delay_s"] = row.per_rule;
+    out["all_correct"] = row.all_correct;
   }
   std::printf("\npaper shape: SDNProbe 1-2.5s < Randomized 1-3.5s < ATPG "
               "(<=13.4s) < Per-rule\n");

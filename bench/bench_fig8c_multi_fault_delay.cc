@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Fig 8(c): delay to localize multiple faulty switches vs fault rate",
       "SDNProbe ICDCS'18 Figure 8(c)");
+  bench::BenchReport report("fig8c_multi_fault_delay",
+                            "SDNProbe ICDCS'18 Figure 8(c)", full);
 
   bench::WorkloadSpec spec;
   spec.switches = full ? 40 : 24;
@@ -31,6 +33,9 @@ int main(int argc, char** argv) {
   const core::AnalysisSnapshot snap(graph);
   std::printf("topology: %d switches, %zu rules, %d testable\n\n",
               spec.switches, w.rules.entry_count(), graph.vertex_count());
+  report.set_param("switches", spec.switches);
+  report.set_param("rules", std::uint64_t{w.rules.entry_count()});
+  report.set_param("testable_vertices", graph.vertex_count());
 
   const std::vector<double> fractions = {0.01, 0.02, 0.05, 0.10, 0.20, 0.50};
   std::printf("%8s | %9s %11s %9s %9s\n", "faulty%", "SDNProbe", "Randomized",
@@ -84,6 +89,12 @@ int main(int argc, char** argv) {
     }
     std::printf("%7.0f%% | %8.2fs %10.2fs %8.2fs %8.2fs\n", f * 100.0,
                 delays[0], delays[1], delays[2], delays[3]);
+    auto& row = report.add_row();
+    row["faulty_fraction"] = f;
+    row["sdnprobe_delay_s"] = delays[0];
+    row["randomized_delay_s"] = delays[1];
+    row["atpg_delay_s"] = delays[2];
+    row["per_rule_delay_s"] = delays[3];
   }
   std::printf("\npaper shape: SDNProbe fastest at <=5%%; Per-rule fastest "
               "beyond 5%%; ATPG slowest throughout\n");

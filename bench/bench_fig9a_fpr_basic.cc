@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   bench::print_header("Fig 9(a): FPR for basic failures vs faulty-rule rate",
                       "SDNProbe ICDCS'18 Figure 9(a)");
+  bench::BenchReport report("fig9a_fpr_basic",
+                            "SDNProbe ICDCS'18 Figure 9(a)", full);
 
   // Chain-structured per-flow tables (no catch-all aggregates): a
   // misdirected packet cannot be rescued back onto its path, matching the
@@ -35,6 +37,9 @@ int main(int argc, char** argv) {
   const int runs = full ? 10 : 3;
   std::printf("topology: %d switches, %zu rules; %d runs per point\n\n",
               spec.switches, w.rules.entry_count(), runs);
+  report.set_param("switches", spec.switches);
+  report.set_param("rules", std::uint64_t{w.rules.entry_count()});
+  report.set_param("runs_per_point", runs);
 
   // X axis: fraction of *switches* made faulty (cf. the abstract's "even
   // with 50% of switches being faulty"); each faulty switch gets a few
@@ -86,6 +91,14 @@ int main(int argc, char** argv) {
                   fnr[s].mean() * 100.0);
     }
     std::printf("\n");
+    static const char* kSchemes[4] = {"sdnprobe", "randomized", "atpg",
+                                      "per_rule"};
+    auto& row = report.add_row();
+    row["faulty_fraction"] = f;
+    for (int s = 0; s < 4; ++s) {
+      row[std::string(kSchemes[s]) + "_fpr"] = fpr[s].mean();
+      row[std::string(kSchemes[s]) + "_fnr"] = fnr[s].mean();
+    }
   }
   std::printf("\npaper shape: SDNProbe/Randomized FPR=0, ATPG & Per-rule "
               "FPR high and growing; FNR=0 for all schemes\n");

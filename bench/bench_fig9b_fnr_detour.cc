@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   bench::print_header("Fig 9(b): FNR under colluding detour attacks",
                       "SDNProbe ICDCS'18 Figure 9(b)");
+  bench::BenchReport report("fig9b_fnr_detour",
+                            "SDNProbe ICDCS'18 Figure 9(b)", full);
 
   bench::WorkloadSpec spec;
   spec.switches = full ? 24 : 16;
@@ -33,6 +35,10 @@ int main(int argc, char** argv) {
   const int randomized_round_budget = full ? 160 : 100;
   std::printf("topology: %d switches, %zu rules; %d runs per point\n\n",
               spec.switches, w.rules.entry_count(), runs);
+  report.set_param("switches", spec.switches);
+  report.set_param("rules", std::uint64_t{w.rules.entry_count()});
+  report.set_param("runs_per_point", runs);
+  report.set_param("randomized_round_budget", randomized_round_budget);
 
   // X axis: fraction of switches hosting a colluding detour entry.
   const std::vector<double> fractions = {0.10, 0.20, 0.30, 0.50};
@@ -84,6 +90,12 @@ int main(int argc, char** argv) {
     std::printf("%7.0f%% | %8.1f%% %10.1f%% %8.1f%% %8.1f%%\n", f * 100.0,
                 fnr[0].mean() * 100.0, fnr[1].mean() * 100.0,
                 fnr[2].mean() * 100.0, fnr[3].mean() * 100.0);
+    auto& row = report.add_row();
+    row["faulty_fraction"] = f;
+    row["sdnprobe_fnr"] = fnr[0].mean();
+    row["randomized_fnr"] = fnr[1].mean();
+    row["atpg_fnr"] = fnr[2].mean();
+    row["per_rule_fnr"] = fnr[3].mean();
   }
   std::printf("\npaper shape: Randomized SDNProbe -> 0%%; SDNProbe & ATPG "
               "15-40%%; Per-rule low (short tested paths)\n");

@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   bench::print_header("Fig 9(c): FNR vs detection delay at 50% faulty rules",
                       "SDNProbe ICDCS'18 Figure 9(c)");
+  bench::BenchReport report("fig9c_fnr_vs_time",
+                            "SDNProbe ICDCS'18 Figure 9(c)", full);
 
   bench::WorkloadSpec spec;
   spec.switches = full ? 24 : 16;
@@ -46,6 +48,8 @@ int main(int argc, char** argv) {
   const auto truth = net.faulty_switches();
   std::printf("topology: %zu rules, %zu colluding faulty switches\n\n",
               w.rules.entry_count(), truth.size());
+  report.set_param("rules", std::uint64_t{w.rules.entry_count()});
+  report.set_param("faulty_switches", std::uint64_t{truth.size()});
 
   // Deterministic baselines: a single plateau point each.
   auto fnr_of = [&](const core::DetectionReport& rep) {
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
     const auto rep = det.run();
     std::printf("SDNProbe (deterministic): FNR plateau %.1f%% after %.1fs\n",
                 fnr_of(rep) * 100.0, rep.total_time_s);
+    report.set_summary("sdnprobe_fnr_plateau", fnr_of(rep));
   }
   {
     sim::EventLoop l2;
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
     const auto rep = atpg.run();
     std::printf("ATPG: FNR plateau %.1f%% after %.1fs\n", fnr_of(rep) * 100.0,
                 rep.total_time_s);
+    report.set_summary("atpg_fnr_plateau", fnr_of(rep));
   }
   {
     sim::EventLoop l2;
@@ -84,6 +90,7 @@ int main(int argc, char** argv) {
     const auto rep = prt.run();
     std::printf("Per-rule: FNR plateau %.1f%% after %.1fs\n",
                 fnr_of(rep) * 100.0, rep.total_time_s);
+    report.set_summary("per_rule_fnr_plateau", fnr_of(rep));
   }
 
   // Randomized SDNProbe: FNR-vs-time series from the round log.
@@ -103,6 +110,10 @@ int main(int argc, char** argv) {
     if (fnr < last_fnr) {
       std::printf("%9.1fs %9.1f%% %8d\n", r.total_time_s, fnr * 100.0,
                   r.rounds);
+      auto& row = report.add_row();
+      row["time_s"] = r.total_time_s;
+      row["fnr"] = fnr;
+      row["round"] = r.rounds;
       last_fnr = fnr;
     }
     if (fnr == 0.0) {
@@ -112,6 +123,8 @@ int main(int argc, char** argv) {
     return false;
   });
   (void)rep;
+  report.set_summary("randomized_zero_fnr_time_s", zero_time);
+  report.set_summary("randomized_final_fnr", last_fnr);
   if (zero_time >= 0) {
     std::printf("\nRandomized SDNProbe reached FNR=0 in %.1f simulated "
                 "seconds (paper: 33 s)\n", zero_time);

@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   bench::print_header("Incremental rule-graph updates vs full rebuild",
                       "SDNProbe ICDCS'18 SectionVIII-C (full-report feature)");
+  bench::BenchReport report(
+      "incremental_update",
+      "SDNProbe ICDCS'18 SectionVIII-C (full-report feature)", full);
 
   struct Size {
     int switches, links;
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
            : std::vector<Size>{{16, 28, 2000}, {22, 40, 5000},
                                {30, 54, 10000}};
   constexpr int kNewEntries = 100;
+  report.set_param("new_entries", kNewEntries);
 
   std::printf("%8s | %12s %14s %9s | %s\n", "rules", "rebuild(ms)",
               "incr(us/rule)", "speedup", "equivalent");
@@ -96,6 +100,12 @@ int main(int argc, char** argv) {
                 rebuild_ms, per_rule_us,
                 rebuild_ms * 1000.0 / per_rule_us,
                 equivalent ? "yes" : "NO");
+    auto& row = report.add_row();
+    row["rules"] = std::uint64_t{w.rules.entry_count()};
+    row["rebuild_ms"] = rebuild_ms;
+    row["incremental_us_per_rule"] = per_rule_us;
+    row["speedup"] = rebuild_ms * 1000.0 / per_rule_us;
+    row["equivalent"] = equivalent;
   }
   std::printf("\nincremental updates avoid the full O(rules) input-space and "
               "edge recomputation per installed rule\n");

@@ -134,6 +134,8 @@ int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   bench::print_header("Table I: detection accuracy matrix (measured)",
                       "SDNProbe ICDCS'18 Table I");
+  bench::BenchReport report("table1_accuracy_matrix",
+                            "SDNProbe ICDCS'18 Table I", full);
   bench::WorkloadSpec spec;
   spec.switches = 16;
   spec.links = 28;
@@ -144,6 +146,9 @@ int main(int argc, char** argv) {
   const core::AnalysisSnapshot snap(graph);
   const int runs = full ? 5 : 2;
   const int round_budget = full ? 200 : 120;
+  report.set_param("rules", std::uint64_t{w.rules.entry_count()});
+  report.set_param("runs_per_cell", runs);
+  report.set_param("round_budget", round_budget);
 
   const std::vector<std::pair<Scenario, const char*>> scenarios = {
       {Scenario::kOneFault, "1 faulty node"},
@@ -158,10 +163,17 @@ int main(int argc, char** argv) {
               schemes[2], schemes[3]);
   for (const auto& [sc, name] : scenarios) {
     std::printf("%-20s", name);
+    auto& row = report.add_row();
+    row["scenario"] = name;
+    static const char* kKeys[4] = {"sdnprobe", "randomized", "per_rule",
+                                   "intersection"};
     for (int scheme = 0; scheme < 4; ++scheme) {
       const CellResult c = run_cell(w, snap, sc, scheme, runs, round_budget);
       const int width[4] = {10, 11, 9, 12};
       std::printf(" %-*s", width[scheme], verdict(c).c_str());
+      row[std::string(kKeys[scheme]) + "_fpr"] = c.fpr;
+      row[std::string(kKeys[scheme]) + "_fnr"] = c.fnr;
+      row[std::string(kKeys[scheme]) + "_verdict"] = verdict(c);
     }
     std::printf("\n");
   }

@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   bench::print_header("Table II: test packet generation at scale",
                       "SDNProbe ICDCS'18 Table II");
+  bench::BenchReport report("table2_scalability",
+                            "SDNProbe ICDCS'18 Table II", full);
 
   const auto& presets = topo::table_two_presets();
   const std::size_t count = full ? presets.size() : 3;
@@ -73,6 +75,17 @@ int main(int argc, char** argv) {
                 rs.entry_count(), g.node_count(), g.edge_count(),
                 stats.max_length, stats.average_length, stats.total_paths,
                 stats.truncated ? "+" : " ", cover.path_count(), pct_s);
+    auto& row = report.add_row();
+    row["topo"] = p.name;
+    row["rules"] = std::uint64_t{rs.entry_count()};
+    row["switches"] = g.node_count();
+    row["links"] = g.edge_count();
+    row["mlps"] = std::uint64_t{stats.max_length};
+    row["alps"] = stats.average_length;
+    row["nlps"] = std::uint64_t{stats.total_paths};
+    row["nlps_truncated"] = stats.truncated;
+    row["tpc"] = std::uint64_t{cover.path_count()};
+    row["pct_s"] = pct_s;
 
     if (i + 1 == count) {
       // Thread-scaling sweep on the largest topology run: the parallel
@@ -106,6 +119,13 @@ int main(int argc, char** argv) {
         std::printf("  threads=%d: %8.2f s  speedup %.2fx  cover %zu%s\n",
                     threads, s, s > 0.0 ? t1 / s : 0.0, c.path_count(),
                     fingerprint(c) == ref ? "" : "  COVER MISMATCH");
+        auto& row = report.add_row();
+        row["sweep"] = "mlpc_thread_scaling";
+        row["threads"] = threads;
+        row["seconds"] = s;
+        row["speedup"] = s > 0.0 ? t1 / s : 0.0;
+        row["cover"] = std::uint64_t{c.path_count()};
+        row["cover_matches_single_thread"] = fingerprint(c) == ref;
       }
     }
   }

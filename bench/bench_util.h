@@ -16,6 +16,7 @@
 #include "core/scenario.h"
 #include "dataplane/network.h"
 #include "flow/synthesizer.h"
+#include "telemetry/artifact.h"
 #include "topo/generator.h"
 
 namespace sdnprobe::bench {
@@ -76,5 +77,43 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("==============================================================\n");
 }
+
+// The shared machine-readable reporter: every bench owns one BenchReport
+// alongside its printf table and mirrors each table row / headline number
+// into it. On destruction (normal main() exit) the artifact is written to
+// BENCH_<name>.json (SDNPROBE_BENCH_DIR overrides the directory) with the
+// global metrics registry's export attached when telemetry is enabled, so a
+// bench run under SDNPROBE_METRICS carries its counters and spans along.
+class BenchReport {
+ public:
+  BenchReport(std::string_view name, std::string_view reproduces, bool full)
+      : artifact_(name, reproduces, full) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    if (reg.enabled()) artifact_.attach_metrics(reg);
+    const std::string path = artifact_.write();
+    if (!path.empty()) {
+      std::printf("\nartifact: %s\n", path.c_str());
+    } else {
+      std::printf("\nartifact: FAILED to write BENCH_%s.json\n",
+                  artifact_.bench_name().c_str());
+    }
+  }
+
+  void set_param(std::string_view key, telemetry::JsonValue v) {
+    artifact_.set_param(key, std::move(v));
+  }
+  telemetry::JsonValue& add_row() { return artifact_.add_row(); }
+  void set_summary(std::string_view key, telemetry::JsonValue v) {
+    artifact_.set_summary(key, std::move(v));
+  }
+
+ private:
+  telemetry::RunArtifact artifact_;
+};
 
 }  // namespace sdnprobe::bench

@@ -16,6 +16,7 @@
 #include "analysis/linter.h"
 #include "flow/campus.h"
 #include "flow/synthesizer.h"
+#include "telemetry/metrics.h"
 #include "topo/generator.h"
 
 using namespace sdnprobe;
@@ -167,6 +168,15 @@ int main(int argc, char** argv) {
   }
   if (which == "defects" || which == "all") {
     ok = lint_defects() && ok;
+  }
+
+  // Under SDNPROBE_METRICS the linter has been tallying diagnostics per
+  // check (lint.* counters) and timing its passes (lint.run spans); show the
+  // human-readable export alongside the reports. Output is unchanged when
+  // the variable is unset.
+  const auto& reg = telemetry::MetricsRegistry::global();
+  if (reg.enabled()) {
+    std::cout << "\n--- telemetry (SDNPROBE_METRICS) ---\n" << reg.to_text();
   }
   return ok ? 0 : 1;
 }

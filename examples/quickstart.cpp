@@ -7,7 +7,13 @@
 //   4. Run fault localization (Algorithm 2) and print the verdict.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+//
+// With SDNPROBE_METRICS=out.json in the environment, the run additionally
+// writes a telemetry export (per-round localizer spans with wall + simulated
+// time, probe/failure counters, MLPC restart stats) to out.json at exit.
+// Output is byte-identical with the variable unset.
 #include <cstdio>
+#include <cstdlib>
 
 #include "controller/controller.h"
 #include "core/analysis_snapshot.h"
@@ -17,6 +23,7 @@
 #include "core/scenario.h"
 #include "dataplane/network.h"
 #include "flow/synthesizer.h"
+#include "telemetry/metrics.h"
 #include "topo/generator.h"
 
 using namespace sdnprobe;
@@ -76,6 +83,13 @@ int main() {
     std::printf("verdict: flagged %zu switches (expected exactly switch %d)\n",
                 report.flagged_switches.size(), culprit);
     return 1;
+  }
+
+  // With SDNPROBE_METRICS set, the global registry has been recording the
+  // whole run; its JSON export is written to that path at process exit.
+  if (telemetry::MetricsRegistry::global().enabled()) {
+    std::printf("telemetry: metrics export will be written to %s at exit\n",
+                std::getenv("SDNPROBE_METRICS"));
   }
   return 0;
 }

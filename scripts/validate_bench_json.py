@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts against the sdnprobe.bench.v1 schema.
+
+Usage:  validate_bench_json.py FILE [FILE...]
+
+Mirrors telemetry::validate_bench_artifact (src/telemetry/artifact.cc) so CI
+can check artifacts without linking the C++ validator. Exits non-zero and
+prints one line per problem when any file fails; prints "OK <file>" per
+passing file otherwise. Stdlib only.
+"""
+import json
+import sys
+
+
+def validate(doc):
+    """Returns a list of problem strings; empty means the document is valid."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != "sdnprobe.bench.v1":
+        problems.append('"schema" is not "sdnprobe.bench.v1"')
+    for key in ("bench", "reproduces"):
+        v = doc.get(key)
+        if not isinstance(v, str) or not v:
+            problems.append(f'"{key}" is not a non-empty string')
+    if not isinstance(doc.get("full"), bool):
+        problems.append('"full" is not a boolean')
+    params = doc.get("params")
+    if not isinstance(params, dict):
+        problems.append('missing or non-object "params"')
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        problems.append('missing or non-array "rows"')
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        problems.append('missing or non-object "summary"')
+    if isinstance(rows, list) and isinstance(summary, dict):
+        if not rows and not summary:
+            problems.append('both "rows" and "summary" are empty')
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or not row:
+                problems.append(f"rows[{i}] is not a non-empty object")
+    # Optional attached metrics export must carry its own schema tag.
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            problems.append('"metrics" is not an object')
+        elif metrics.get("schema") != "sdnprobe.metrics.v1":
+            problems.append('"metrics.schema" is not "sdnprobe.metrics.v1"')
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {path}: {e}")
+            failed = True
+            continue
+        problems = validate(doc)
+        if problems:
+            for p in problems:
+                print(f"FAIL {path}: {p}")
+            failed = True
+        else:
+            print(f"OK {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sat/header_encoder.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 
 namespace sdnprobe::analysis {
@@ -430,18 +431,38 @@ void lint_rule_graph(const core::AnalysisSnapshot& snapshot,
   }
 }
 
+// Satellite of the telemetry subsystem (DESIGN.md §10): publishes one lint
+// run's Diagnostic tallies to the global registry so lint results land in
+// the same artifact stream as localizer/bench metrics. Per-check counters
+// are named lint.diag.<check-name> (kebab-case ids from check_name()).
+void record_lint_telemetry(const LintReport& report) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  reg.counter("lint.runs").add(1);
+  reg.counter("lint.diagnostics").add(report.size());
+  reg.counter("lint.errors").add(report.count(Severity::kError));
+  reg.counter("lint.warnings").add(report.count(Severity::kWarning));
+  reg.counter("lint.infos").add(report.count(Severity::kInfo));
+  for (const Diagnostic& d : report.diagnostics()) {
+    reg.counter(std::string("lint.diag.") + check_name(d.check)).add(1);
+  }
+}
+
 }  // namespace
 
 LintReport Linter::run(const RuleSet& rules) const {
+  telemetry::TraceSpan span("lint.run");
   LintReport report;
   lint_structural(
       rules,
       [&rules](EntryId id) { return rules.input_space(id).is_empty(); },
       [&rules](EntryId id) { return rules.output_space(id); }, report);
+  record_lint_telemetry(report);
   return report;
 }
 
 LintReport Linter::run(const core::AnalysisSnapshot& snapshot) const {
+  telemetry::TraceSpan span("lint.run");
   const RuleSet& rules = snapshot.rules();
   LintReport report;
   lint_structural(
@@ -456,6 +477,7 @@ LintReport Linter::run(const core::AnalysisSnapshot& snapshot) const {
   if (config_.rule_graph_checks) {
     lint_rule_graph(snapshot, config_, report);
   }
+  record_lint_telemetry(report);
   return report;
 }
 

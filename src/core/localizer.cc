@@ -3,10 +3,35 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace sdnprobe::core {
+namespace {
+
+// DetectionReport / RoundRecord remain the algorithmic record; telemetry is
+// the cross-run aggregate view and must never influence control flow.
+struct LocalizerInstruments {
+  telemetry::Counter& probes_sent;
+  telemetry::Counter& probe_failures;
+  telemetry::Counter& suspicion_updates;
+  telemetry::Counter& switches_flagged;
+
+  static LocalizerInstruments& get() {
+    static auto& reg = telemetry::MetricsRegistry::global();
+    static LocalizerInstruments i{
+        reg.counter("localizer.probes_sent"),
+        reg.counter("localizer.probe_failures"),
+        reg.counter("localizer.suspicion_updates"),
+        reg.counter("localizer.switches_flagged"),
+    };
+    return i;
+  }
+};
+
+}  // namespace
 
 bool DetectionReport::flagged(flow::SwitchId s) const {
   return std::binary_search(flagged_switches.begin(), flagged_switches.end(),
@@ -36,6 +61,8 @@ void FaultLocalizer::charge_wall_time(double seconds) {
 }
 
 std::vector<Probe> FaultLocalizer::generate_full_cover() {
+  telemetry::TraceSpan span("localizer.generate_full_cover",
+                            [this] { return loop_->now(); });
   util::WallTimer timer;
   if (!config_.randomized) {
     if (!fixed_ready_) {
@@ -78,6 +105,8 @@ std::size_t FaultLocalizer::initial_probe_count() {
 }
 
 DetectionReport FaultLocalizer::run(RoundCallback callback) {
+  telemetry::TraceSpan run_span("localizer.run",
+                                [this] { return loop_->now(); });
   DetectionReport report;
   const double t0 = loop_->now();
 
@@ -103,6 +132,9 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
     rec.round = round;
     rec.start_s = loop_->now();
     if (pending.empty()) break;
+    telemetry::TraceSpan round_span("localizer.round",
+                                    [this] { return loop_->now(); });
+    round_span.annotate("round", static_cast<double>(round));
 
     if (config_.round_jitter_s > 0.0) {
       loop_->run_until(loop_->now() +
@@ -159,6 +191,7 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
       loop_->schedule_at(t, [this, sw, pk]() { ctrl_->send_packet(sw, pk); });
       t += spacing;
       ++report.probes_sent;
+      LocalizerInstruments::get().probes_sent.add();
     }
     loop_->run_until(t + config_.round_grace_s);
     ctrl_->set_probe_return_handler(nullptr);
@@ -196,7 +229,10 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
       }
       if (explained) continue;
       ++failures;
+      LocalizerInstruments::get().probe_failures.add();
       for (const flow::EntryId e : ap.probe.entries) ++suspicion_[e];
+      LocalizerInstruments::get().suspicion_updates.add(
+          ap.probe.entries.size());
       // Accumulated-suspicion flagging (intermittent faults): the strictly
       // most-suspected rule on this failing path crossing the strong
       // threshold identifies its switch.
@@ -220,6 +256,7 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
             flagged_.insert(sw);
             rec.newly_flagged.push_back(sw);
             report.detection_time_s = loop_->now() - t0;
+            LocalizerInstruments::get().switches_flagged.add();
           }
           continue;  // path explained by the new flag
         }
@@ -241,6 +278,9 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
         const flow::EntryId e = ap.probe.entries.front();
         const flow::SwitchId sw = graph_->rules().entry(e).switch_id;
         if (suspicion_[e] > config_.suspicion_threshold) {
+          if (!flagged_.count(sw)) {
+            LocalizerInstruments::get().switches_flagged.add();
+          }
           flagged_.insert(sw);
           rec.newly_flagged.push_back(sw);
           report.detection_time_s = loop_->now() - t0;
@@ -261,6 +301,10 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
     rec.end_s = loop_->now();
     rec.probes = active.size();
     rec.failures = failures;
+    round_span.annotate("probes", static_cast<double>(rec.probes));
+    round_span.annotate("failures", static_cast<double>(rec.failures));
+    round_span.annotate("newly_flagged",
+                        static_cast<double>(rec.newly_flagged.size()));
     report.round_log.push_back(rec);
     report.rounds = round;
 
@@ -288,6 +332,10 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
 
   report.flagged_switches.assign(flagged_.begin(), flagged_.end());
   report.total_time_s = loop_->now() - t0;
+  run_span.annotate("rounds", static_cast<double>(report.rounds));
+  run_span.annotate("probes_sent", static_cast<double>(report.probes_sent));
+  run_span.annotate("flagged",
+                    static_cast<double>(report.flagged_switches.size()));
   return report;
 }
 

@@ -5,8 +5,30 @@
 #include <deque>
 #include <functional>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace sdnprobe::core {
 namespace {
+
+// Cross-solver aggregates; the returned Cover stays the algorithmic output
+// and telemetry never feeds back into search decisions. The budget counter
+// is bumped from restart workers, so it must be (and is) atomic.
+struct MlpcInstruments {
+  telemetry::Counter& solves;
+  telemetry::Counter& restarts;
+  telemetry::Counter& budget_consumed;
+
+  static MlpcInstruments& get() {
+    static auto& reg = telemetry::MetricsRegistry::global();
+    static MlpcInstruments i{
+        reg.counter("mlpc.solves"),
+        reg.counter("mlpc.restarts"),
+        reg.counter("mlpc.search_budget_consumed"),
+    };
+    return i;
+  }
+};
 
 // Mutable cover under construction.
 struct WorkPath {
@@ -35,6 +57,10 @@ class StitchSearch {
         budget_(budget),
         rng_(rng),
         accept_probability_(accept_probability) {}
+
+  // How much of the construction-time budget is left; callers subtract from
+  // the configured budget to meter consumption.
+  std::size_t budget_remaining() const { return budget_; }
 
   std::optional<StitchResult> find(int from_path) {
     visited_.assign(static_cast<std::size_t>(g_.vertex_count()), 0);
@@ -268,7 +294,16 @@ std::size_t Cover::total_vertices() const {
 }
 
 Cover MlpcSolver::solve(const AnalysisSnapshot& snapshot) const {
-  if (config_.randomized) return solve_once(snapshot, config_.seed);
+  telemetry::TraceSpan span("mlpc.solve");
+  MlpcInstruments::get().solves.add();
+  if (config_.randomized) {
+    Cover cover = solve_once(snapshot, config_.seed);
+    span.annotate("cover_size", static_cast<double>(cover.path_count()));
+    telemetry::MetricsRegistry::global()
+        .histogram("mlpc.cover_size")
+        .record(static_cast<double>(cover.path_count()));
+    return cover;
+  }
   // Deterministic restarts: each restart r draws its own derived stream, so
   // the set of candidate covers is a pure function of (snapshot, seed) no
   // matter how the restarts are scheduled. Restarts are independent reads of
@@ -296,6 +331,13 @@ Cover MlpcSolver::solve(const AnalysisSnapshot& snapshot) const {
   for (std::size_t r = 1; r < restarts; ++r) {
     if (results[r].path_count() < results[best].path_count()) best = r;
   }
+  MlpcInstruments::get().restarts.add(restarts);
+  span.annotate("restarts", static_cast<double>(restarts));
+  span.annotate("cover_size",
+                static_cast<double>(results[best].path_count()));
+  telemetry::MetricsRegistry::global()
+      .histogram("mlpc.cover_size")
+      .record(static_cast<double>(results[best].path_count()));
   return std::move(results[best]);
 }
 
@@ -338,6 +380,8 @@ Cover MlpcSolver::solve_once(const AnalysisSnapshot& g,
     StitchSearch search(g, paths, head_path_of, config_.search_budget,
                         rng_ptr, config_.stitch_accept_probability);
     const auto result = search.find(pi);
+    MlpcInstruments::get().budget_consumed.add(
+        config_.search_budget - search.budget_remaining());
     if (!result.has_value()) continue;  // tail is final; path complete
     WorkPath& q = paths[static_cast<std::size_t>(result->target_path)];
     // Merge: P + route + Q.

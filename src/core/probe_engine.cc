@@ -3,9 +3,36 @@
 #include <algorithm>
 
 #include "sat/header_encoder.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace sdnprobe::core {
+namespace {
+
+// Process-wide instruments, resolved once (thread-safe static init). The
+// per-engine ProbeStats stays the determinism-checked source of truth;
+// these aggregate across engines into the run artifact. Counters are
+// incremented from phase-A workers too — atomic adds, observational only.
+struct EngineInstruments {
+  telemetry::Counter& candidates;
+  telemetry::Counter& committed;
+  telemetry::Counter& sat_fallbacks;
+  telemetry::Counter& sat_failures;
+
+  static EngineInstruments& get() {
+    static auto& reg = telemetry::MetricsRegistry::global();
+    static EngineInstruments i{
+        reg.counter("probe_engine.header_candidates"),
+        reg.counter("probe_engine.headers_committed"),
+        reg.counter("probe_engine.sat_fallbacks"),
+        reg.counter("probe_engine.sat_failures"),
+    };
+    return i;
+  }
+};
+
+}  // namespace
 
 std::optional<hsa::TernaryString> ProbeEngine::pick_unique_header(
     const hsa::HeaderSpace& input_space, util::Rng& rng,
@@ -19,8 +46,10 @@ std::optional<hsa::TernaryString> ProbeEngine::pick_unique_header(
         profile ? profile->sample(input_space, rng)
                 : input_space.sample(rng);
     if (!h.has_value()) break;
+    EngineInstruments::get().candidates.add();
     if (!used_.count(*h)) {
       ++stats_.headers_by_sampling;
+      EngineInstruments::get().committed.add();
       used_.insert(*h);
       return h;
     }
@@ -28,13 +57,16 @@ std::optional<hsa::TernaryString> ProbeEngine::pick_unique_header(
   // Slow path: the SAT solver finds a header in the space differing from
   // every previously issued header (the paper's MiniSat use, §VI).
   std::vector<hsa::TernaryString> forbidden(used_.begin(), used_.end());
+  EngineInstruments::get().sat_fallbacks.add();
   auto h = sat::solve_header_in(input_space, forbidden);
   if (h.has_value()) {
     ++stats_.headers_by_sat;
+    EngineInstruments::get().committed.add();
     used_.insert(*h);
     return h;
   }
   ++stats_.sat_failures;
+  EngineInstruments::get().sat_failures.add();
   return std::nullopt;
 }
 
@@ -45,18 +77,22 @@ std::optional<hsa::TernaryString> ProbeEngine::commit_unique_header(
   for (const hsa::TernaryString& h : candidates) {
     if (!used_.count(h)) {
       ++stats_.headers_by_sampling;
+      EngineInstruments::get().committed.add();
       used_.insert(h);
       return h;
     }
   }
   std::vector<hsa::TernaryString> forbidden(used_.begin(), used_.end());
+  EngineInstruments::get().sat_fallbacks.add();
   auto h = sat::solve_header_in(input_space, forbidden);
   if (h.has_value()) {
     ++stats_.headers_by_sat;
+    EngineInstruments::get().committed.add();
     used_.insert(*h);
     return h;
   }
   ++stats_.sat_failures;
+  EngineInstruments::get().sat_failures.add();
   return std::nullopt;
 }
 
@@ -94,6 +130,7 @@ std::optional<Probe> ProbeEngine::make_probe(const std::vector<VertexId>& path,
 std::vector<Probe> ProbeEngine::make_probes(const Cover& cover,
                                             util::Rng& rng,
                                             const TrafficProfile* profile) {
+  telemetry::TraceSpan span("probe_engine.make_probes");
   const std::size_t n = cover.paths.size();
   // One base draw: path i samples from stream derive(base, i), so the
   // produced headers depend only on (cover, rng state at entry) and the
@@ -122,6 +159,7 @@ std::vector<Probe> ProbeEngine::make_probes(const Cover& cover,
       if (!h.has_value()) break;
       c.samples.push_back(std::move(*h));
     }
+    EngineInstruments::get().candidates.add(c.samples.size());
   };
   const std::size_t workers =
       n == 0 ? 1
@@ -152,6 +190,7 @@ std::vector<Probe> ProbeEngine::make_probes(const Cover& cover,
                << path.size();
     }
   }
+  span.annotate("probes", static_cast<double>(probes.size()));
   return probes;
 }
 

@@ -12,6 +12,13 @@ Network::Network(const flow::RuleSet& rules, sim::EventLoop& loop,
       config_(config),
       tables_(static_cast<std::size_t>(rules.switch_count())) {
   SDNPROBE_CHECK_GT(config_.max_hops, 0);
+  auto& reg = telemetry::MetricsRegistry::global();
+  tm_.packet_outs = &reg.counter("dataplane.packet_outs");
+  tm_.packet_ins = &reg.counter("dataplane.packet_ins");
+  tm_.forwarded = &reg.counter("dataplane.packets_forwarded");
+  tm_.dropped = &reg.counter("dataplane.packets_dropped");
+  tm_.faults_applied = &reg.counter("dataplane.faults_applied");
+  tm_.host_deliveries = &reg.counter("dataplane.host_deliveries");
   for (flow::SwitchId s = 0; s < rules.switch_count(); ++s) {
     const int n_tables = rules.table_count(s);
     auto& sw_tables = tables_[static_cast<std::size_t>(s)];
@@ -86,6 +93,7 @@ void Network::packet_out(flow::SwitchId sw, Packet p) {
   SDNPROBE_CHECK_LT(sw, static_cast<int>(tables_.size()));
   SDNPROBE_DCHECK_EQ(p.header.width(), rules_->header_width());
   ++counters_.packets_injected;
+  tm_.packet_outs->add();
   loop_->schedule_in(config_.control_latency_s, [this, sw, p = std::move(p)] {
     arrive(sw, p);
   });
@@ -109,6 +117,7 @@ void Network::process(flow::SwitchId sw, Packet p, flow::TableId table) {
   if (static_cast<std::size_t>(table) >= sw_tables.size()) {
     ++counters_.table_misses;
     ++counters_.packets_dropped;
+    tm_.dropped->add();
     return;
   }
   const flow::FlowEntry* e =
@@ -116,6 +125,7 @@ void Network::process(flow::SwitchId sw, Packet p, flow::TableId table) {
   if (!e) {
     ++counters_.table_misses;
     ++counters_.packets_dropped;
+    tm_.dropped->add();
     return;
   }
   p.entry_trace.push_back(e->id);
@@ -124,10 +134,12 @@ void Network::process(flow::SwitchId sw, Packet p, flow::TableId table) {
   if (const FaultSpec* f = faults_.fault_for(e->id);
       f && f->is_active(loop_->now(), p.header)) {
     ++counters_.faults_applied;
+    tm_.faults_applied->add();
     p.tampered = true;
     switch (f->kind) {
       case FaultKind::kDrop:
         ++counters_.packets_dropped;
+        tm_.dropped->add();
         return;
       case FaultKind::kMisdirect:
         p.header = p.header.transform(e->set_field);
@@ -158,12 +170,14 @@ void Network::process(flow::SwitchId sw, Packet p, flow::TableId table) {
       return;
     case flow::ActionType::kDrop:
       ++counters_.packets_dropped;
+      tm_.dropped->add();
       return;
     case flow::ActionType::kGotoTable:
       process(sw, std::move(p), e->action.next_table);
       return;
     case flow::ActionType::kToController:
       ++counters_.packet_ins;
+      tm_.packet_ins->add();
       if (packet_in_handler_) {
         loop_->schedule_in(config_.control_latency_s,
                            [this, sw, p = std::move(p)] {
@@ -178,6 +192,7 @@ void Network::emit(flow::SwitchId sw, flow::PortId port, Packet p) {
   const auto peer = rules_->ports().peer_of(sw, port);
   if (peer.has_value()) {
     ++counters_.packets_forwarded;
+    tm_.forwarded->add();
     const double latency =
         rules_->topology().edge_latency(sw, *peer).value_or(1e-3);
     loop_->schedule_in(latency, [this, peer = *peer, p = std::move(p)] {
@@ -187,6 +202,7 @@ void Network::emit(flow::SwitchId sw, flow::PortId port, Packet p) {
   }
   // Host / edge port: the packet leaves the network.
   ++counters_.host_deliveries;
+  tm_.host_deliveries->add();
   if (host_delivery_handler_) host_delivery_handler_(sw, p, loop_->now());
 }
 

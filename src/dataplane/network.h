@@ -15,6 +15,7 @@
 #include "dataplane/packet.h"
 #include "flow/ruleset.h"
 #include "sim/event_loop.h"
+#include "telemetry/metrics.h"
 
 namespace sdnprobe::dataplane {
 
@@ -117,6 +118,19 @@ class Network {
   PacketInHandler packet_in_handler_;
   HostDeliveryHandler host_delivery_handler_;
   NetworkCounters counters_;
+  // Telemetry instruments, resolved once at construction; each add()
+  // branches on the global registry's enabled flag (near-zero when off).
+  // NetworkCounters stays the per-instance ground truth for tests; the
+  // registry aggregates across Network instances and into run artifacts.
+  struct Instruments {
+    telemetry::Counter* packet_outs;
+    telemetry::Counter* packet_ins;
+    telemetry::Counter* forwarded;
+    telemetry::Counter* dropped;
+    telemetry::Counter* faults_applied;
+    telemetry::Counter* host_deliveries;
+  };
+  Instruments tm_;
 };
 
 }  // namespace sdnprobe::dataplane

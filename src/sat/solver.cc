@@ -3,7 +3,38 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/metrics.h"
+
 namespace sdnprobe::sat {
+namespace {
+
+// Publishes the search-counter deltas of one solve() call to the global
+// registry on scope exit (covering every return path). SolverStats itself
+// stays the per-instance source of truth; telemetry aggregates across
+// solver instances, which a caller holding only one Solver cannot.
+class SolveStatsPublisher {
+ public:
+  explicit SolveStatsPublisher(const SolverStats& stats)
+      : stats_(stats), before_(stats) {}
+  ~SolveStatsPublisher() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    if (!reg.enabled()) return;
+    reg.counter("sat.solves").add(1);
+    reg.counter("sat.decisions").add(stats_.decisions - before_.decisions);
+    reg.counter("sat.propagations")
+        .add(stats_.propagations - before_.propagations);
+    reg.counter("sat.conflicts").add(stats_.conflicts - before_.conflicts);
+    reg.counter("sat.restarts").add(stats_.restarts - before_.restarts);
+    reg.counter("sat.learned_clauses")
+        .add(stats_.learned_clauses - before_.learned_clauses);
+  }
+
+ private:
+  const SolverStats& stats_;
+  const SolverStats before_;
+};
+
+}  // namespace
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
@@ -278,6 +309,7 @@ void Solver::reduce_learned() {
 
 Result Solver::solve(std::int64_t conflict_budget) {
   if (!ok_) return Result::kUnsat;
+  const SolveStatsPublisher publish(stats_);
   std::int64_t conflicts_left = conflict_budget;
   std::uint64_t restart_limit = 100;
   std::uint64_t conflicts_since_restart = 0;

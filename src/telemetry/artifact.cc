@@ -1,0 +1,97 @@
+#include "telemetry/artifact.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace sdnprobe::telemetry {
+
+RunArtifact::RunArtifact(std::string_view bench_name,
+                         std::string_view reproduces, bool full_scale)
+    : name_(bench_name), root_(JsonValue::object()) {
+  root_["schema"] = "sdnprobe.bench.v1";
+  root_["bench"] = name_;
+  root_["reproduces"] = std::string(reproduces);
+  root_["full"] = full_scale;
+  root_["params"] = JsonValue::object();
+  root_["rows"] = JsonValue::array();
+  root_["summary"] = JsonValue::object();
+}
+
+void RunArtifact::set_param(std::string_view key, JsonValue value) {
+  root_["params"][key] = std::move(value);
+}
+
+JsonValue& RunArtifact::add_row() {
+  return root_["rows"].append(JsonValue::object());
+}
+
+void RunArtifact::set_summary(std::string_view key, JsonValue value) {
+  root_["summary"][key] = std::move(value);
+}
+
+void RunArtifact::attach_metrics(const MetricsRegistry& registry) {
+  root_["metrics"] = registry.to_json();
+}
+
+std::string RunArtifact::write() const {
+  const char* dir = std::getenv("SDNPROBE_BENCH_DIR");
+  return write_to(dir != nullptr && dir[0] != '\0' ? dir : ".");
+}
+
+std::string RunArtifact::write_to(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    LOG_WARN << "cannot write bench artifact '" << path << "'";
+    return "";
+  }
+  out << root_.to_pretty_string();
+  if (!out) {
+    LOG_WARN << "short write on bench artifact '" << path << "'";
+    return "";
+  }
+  return path;
+}
+
+std::string validate_bench_artifact(const JsonValue& doc) {
+  if (!doc.is_object()) return "document is not a JSON object";
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr) return "missing \"schema\"";
+  if (schema->to_string() != "\"sdnprobe.bench.v1\"") {
+    return "\"schema\" is not \"sdnprobe.bench.v1\"";
+  }
+  for (const char* key : {"bench", "reproduces"}) {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr) return std::string("missing \"") + key + "\"";
+    const std::string s = v->to_string();
+    if (s.size() < 3 || s.front() != '"') {
+      return std::string("\"") + key + "\" is not a non-empty string";
+    }
+  }
+  const JsonValue* full = doc.find("full");
+  if (full == nullptr) return "missing \"full\"";
+  const std::string fs = full->to_string();
+  if (fs != "true" && fs != "false") return "\"full\" is not a boolean";
+  const JsonValue* params = doc.find("params");
+  if (params == nullptr || !params->is_object()) {
+    return "missing or non-object \"params\"";
+  }
+  const JsonValue* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return "missing or non-array \"rows\"";
+  }
+  const JsonValue* summary = doc.find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    return "missing or non-object \"summary\"";
+  }
+  // A useful artifact carries data: rows, or headline summary numbers for
+  // the single-configuration benches (e.g. the campus dataset).
+  if (rows->size() == 0 && summary->size() == 0) {
+    return "both \"rows\" and \"summary\" are empty";
+  }
+  return "";
+}
+
+}  // namespace sdnprobe::telemetry

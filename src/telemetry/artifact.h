@@ -1,0 +1,69 @@
+// Structured run artifacts: the common machine-readable output document for
+// benches and experiment drivers (schema "sdnprobe.bench.v1").
+//
+// Every bench builds one RunArtifact, appends a row per measured
+// configuration and a summary per headline number, and writes
+// BENCH_<name>.json on exit — that file is the perf-trajectory record, so
+// the schema is append-only: existing keys keep their names and meaning.
+//
+// Document layout:
+//   {
+//     "schema":     "sdnprobe.bench.v1",
+//     "bench":      "<name>",            // e.g. "fig8a_packet_count"
+//     "reproduces": "<paper ref>",
+//     "full":       bool,                // --full scale vs reduced
+//     "params":     { ... },             // workload knobs (flat scalars)
+//     "rows":       [ { ... }, ... ],    // one object per table row
+//     "summary":    { ... },             // headline numbers (flat scalars)
+//     "metrics":    { ...metrics.v1 }    // optional registry export
+//   }
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/json_writer.h"
+#include "telemetry/metrics.h"
+
+namespace sdnprobe::telemetry {
+
+class RunArtifact {
+ public:
+  RunArtifact(std::string_view bench_name, std::string_view reproduces,
+              bool full_scale);
+
+  // Flat scalar describing the workload ("switches", 30). Overwrites on
+  // repeated keys.
+  void set_param(std::string_view key, JsonValue value);
+
+  // Appends one result row and returns it for field assignment:
+  //   auto& row = artifact.add_row();
+  //   row["rules"] = 6000; row["probes"] = 41;
+  JsonValue& add_row();
+
+  // Headline result ("atpg_overhead_pct", 31.2).
+  void set_summary(std::string_view key, JsonValue value);
+
+  // Embeds a metrics.v1 export under "metrics".
+  void attach_metrics(const MetricsRegistry& registry);
+
+  const std::string& bench_name() const { return name_; }
+  const JsonValue& json() const { return root_; }
+
+  // Writes the document to `dir`/BENCH_<name>.json ("." by default; the
+  // SDNPROBE_BENCH_DIR environment variable overrides it). Returns the path
+  // written, or an empty string on I/O failure.
+  std::string write() const;
+  std::string write_to(const std::string& dir) const;
+
+ private:
+  std::string name_;
+  JsonValue root_;
+};
+
+// Schema check used by tests and the CI bench-smoke job's validator:
+// returns an empty string when `doc` is a well-formed bench.v1 document,
+// otherwise a description of the first violation.
+std::string validate_bench_artifact(const JsonValue& doc);
+
+}  // namespace sdnprobe::telemetry

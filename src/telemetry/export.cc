@@ -1,0 +1,140 @@
+// MetricsRegistry exporters: pretty text for terminals, stable-schema JSON
+// for artifacts (schema "sdnprobe.metrics.v1", documented in DESIGN.md §10).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+namespace sdnprobe::telemetry {
+namespace {
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "-- telemetry (" << (enabled() ? "enabled" : "disabled") << ") --\n";
+  for (const auto& [name, c] : counters_) {
+    if (c->value() == 0) continue;
+    out << "counter   " << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (g->value() == 0.0 && g->max() == 0.0) continue;
+    out << "gauge     " << name << " = " << format_double(g->value())
+        << " (max " << format_double(g->max()) << ")\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h->count() == 0) continue;
+    out << "histogram " << name << ": n=" << h->count()
+        << " mean=" << format_double(h->mean())
+        << " p50=" << format_double(h->quantile(0.5))
+        << " p99=" << format_double(h->quantile(0.99))
+        << " max=" << format_double(h->max()) << "\n";
+  }
+  if (!spans_.empty()) {
+    out << "spans     " << spans_.size() << " recorded";
+    if (spans_dropped_ > 0) out << " (" << spans_dropped_ << " dropped)";
+    out << "\n";
+    for (const SpanRecord& s : spans_) {
+      out << "  " << std::string(static_cast<std::size_t>(2 * s.depth), ' ')
+          << s.name << ": " << format_double(s.wall_ms) << " ms wall";
+      if (s.has_sim) {
+        out << ", " << format_double(s.sim_end_s - s.sim_start_s)
+            << " s simulated";
+      }
+      for (const auto& [k, v] : s.attrs) {
+        out << " " << k << "=" << format_double(v);
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::object();
+  root["schema"] = "sdnprobe.metrics.v1";
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, c] : counters_) {
+    if (c->value() == 0) continue;
+    counters[name] = c->value();
+  }
+  root["counters"] = std::move(counters);
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, g] : gauges_) {
+    if (g->value() == 0.0 && g->max() == 0.0) continue;
+    JsonValue entry = JsonValue::object();
+    entry["value"] = g->value();
+    entry["max"] = g->max();
+    gauges[name] = std::move(entry);
+  }
+  root["gauges"] = std::move(gauges);
+
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, h] : histograms_) {
+    if (h->count() == 0) continue;
+    JsonValue entry = JsonValue::object();
+    entry["count"] = h->count();
+    entry["mean"] = h->mean();
+    entry["min"] = h->min();
+    entry["max"] = h->max();
+    entry["p50"] = h->quantile(0.5);
+    entry["p90"] = h->quantile(0.9);
+    entry["p99"] = h->quantile(0.99);
+    JsonValue bounds = JsonValue::array();
+    for (const double b : h->bucket_bounds()) bounds.append(b);
+    entry["bucket_bounds"] = std::move(bounds);
+    JsonValue buckets = JsonValue::array();
+    for (const std::uint64_t b : h->bucket_counts()) buckets.append(b);
+    entry["bucket_counts"] = std::move(buckets);
+    histograms[name] = std::move(entry);
+  }
+  root["histograms"] = std::move(histograms);
+
+  JsonValue spans = JsonValue::array();
+  for (const SpanRecord& s : spans_) {
+    JsonValue span = JsonValue::object();
+    span["name"] = s.name;
+    span["depth"] = s.depth;
+    span["thread"] = s.thread;
+    span["wall_ms"] = s.wall_ms;
+    if (s.has_sim) {
+      span["sim_start_s"] = s.sim_start_s;
+      span["sim_end_s"] = s.sim_end_s;
+      span["sim_duration_s"] = s.sim_end_s - s.sim_start_s;
+    }
+    if (!s.attrs.empty()) {
+      JsonValue attrs = JsonValue::object();
+      for (const auto& [k, v] : s.attrs) attrs[k] = v;
+      span["attrs"] = std::move(attrs);
+    }
+    spans.append(std::move(span));
+  }
+  root["spans"] = std::move(spans);
+  root["spans_dropped"] = spans_dropped_;
+  return root;
+}
+
+bool write_metrics_file(const MetricsRegistry& registry,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_WARN << "SDNPROBE_METRICS: cannot open '" << path << "' for writing";
+    return false;
+  }
+  out << registry.to_json().to_pretty_string();
+  return static_cast<bool>(out);
+}
+
+}  // namespace sdnprobe::telemetry

@@ -1,0 +1,192 @@
+#include "telemetry/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace sdnprobe::telemetry {
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.v_ = std::make_shared<Object>();
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.v_ = std::make_shared<Array>();
+  return v;
+}
+
+bool JsonValue::is_object() const {
+  return std::holds_alternative<std::shared_ptr<Object>>(v_);
+}
+
+bool JsonValue::is_array() const {
+  return std::holds_alternative<std::shared_ptr<Array>>(v_);
+}
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  SDNPROBE_CHECK(is_object()) << "operator[] on a non-object JsonValue";
+  auto& members = std::get<std::shared_ptr<Object>>(v_)->members;
+  for (auto& [k, v] : members) {
+    if (k == key) return v;
+  }
+  members.emplace_back(std::string(key), JsonValue());
+  return members.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<std::shared_ptr<Object>>(v_)->members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::append(JsonValue v) {
+  SDNPROBE_CHECK(is_array()) << "append on a non-array JsonValue";
+  auto& items = std::get<std::shared_ptr<Array>>(v_)->items;
+  items.push_back(std::move(v));
+  return items.back();
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return std::get<std::shared_ptr<Array>>(v_)->items.size();
+  if (is_object()) {
+    return std::get<std::shared_ptr<Object>>(v_)->members.size();
+  }
+  return 0;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double d) {
+  if (!std::isfinite(d)) return "0";
+  // %.17g round-trips every double but prints 0.1 as 0.1000...1; try
+  // shorter forms first and keep the first that parses back exactly.
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+             : "";
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  if (std::holds_alternative<Null>(v_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&v_)) {
+    out += *b ? "true" : "false";
+  } else if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) {
+    out += std::to_string(*i);
+  } else if (const double* d = std::get_if<double>(&v_)) {
+    out += json_number(*d);
+  } else if (const std::string* s = std::get_if<std::string>(&v_)) {
+    out += '"';
+    out += json_escape(*s);
+    out += '"';
+  } else if (is_object()) {
+    const auto& members = std::get<std::shared_ptr<Object>>(v_)->members;
+    if (members.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : members) {
+      if (!first) out += ',';
+      first = false;
+      if (pretty) {
+        out += '\n';
+        out += pad;
+      }
+      out += '"';
+      out += json_escape(k);
+      out += pretty ? "\": " : "\":";
+      v.write(out, indent, depth + 1);
+    }
+    if (pretty) {
+      out += '\n';
+      out += close_pad;
+    }
+    out += '}';
+  } else {
+    const auto& items = std::get<std::shared_ptr<Array>>(v_)->items;
+    if (items.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const auto& v : items) {
+      if (!first) out += ',';
+      first = false;
+      if (pretty) {
+        out += '\n';
+        out += pad;
+      }
+      v.write(out, indent, depth + 1);
+    }
+    if (pretty) {
+      out += '\n';
+      out += close_pad;
+    }
+    out += ']';
+  }
+}
+
+std::string JsonValue::to_string() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string JsonValue::to_pretty_string() const {
+  std::string out;
+  write(out, 2, 0);
+  out += '\n';
+  return out;
+}
+
+}  // namespace sdnprobe::telemetry

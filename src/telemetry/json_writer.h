@@ -1,0 +1,82 @@
+// Minimal JSON document writer shared by the telemetry exporters and the
+// bench run-artifact emitter.
+//
+// Scope is deliberately narrow: this is a *writer*, not a parser. Documents
+// are built from JsonValue scalars and the object/array builder below, and
+// serialized with stable member ordering (insertion order), full string
+// escaping, and round-trippable number formatting — the same inputs always
+// produce byte-identical output, which is what lets BENCH_*.json artifacts
+// be diffed across runs and lets tests assert on exporter stability.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace sdnprobe::telemetry {
+
+// One JSON value. Objects preserve insertion order (schema stability);
+// `null` is spelled as a default-constructed JsonValue.
+class JsonValue {
+ public:
+  JsonValue() : v_(Null{}) {}
+  JsonValue(bool b) : v_(b) {}                        // NOLINT(runtime/explicit)
+  JsonValue(std::int64_t i) : v_(i) {}                // NOLINT(runtime/explicit)
+  JsonValue(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  JsonValue(std::uint64_t u)                          // NOLINT(runtime/explicit)
+      : v_(static_cast<std::int64_t>(u)) {}
+  JsonValue(double d) : v_(d) {}                      // NOLINT(runtime/explicit)
+  JsonValue(std::string s) : v_(std::move(s)) {}      // NOLINT(runtime/explicit)
+  JsonValue(const char* s) : v_(std::string(s)) {}    // NOLINT(runtime/explicit)
+
+  static JsonValue object();
+  static JsonValue array();
+
+  bool is_object() const;
+  bool is_array() const;
+
+  // Object member access; creates the member on first use (insertion order
+  // is preserved in the serialized output). CHECK-fails on non-objects.
+  JsonValue& operator[](std::string_view key);
+  // Read-only lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Array append. CHECK-fails on non-arrays.
+  JsonValue& append(JsonValue v);
+  std::size_t size() const;
+
+  // Compact serialization (no whitespace).
+  std::string to_string() const;
+  // Indented serialization (2-space indent), trailing newline.
+  std::string to_pretty_string() const;
+
+ private:
+  struct Null {};
+  struct Object {
+    // (key, value) pairs in insertion order.
+    std::vector<std::pair<std::string, JsonValue>> members;
+  };
+  struct Array {
+    std::vector<JsonValue> items;
+  };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<Null, bool, std::int64_t, double, std::string,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      v_;
+};
+
+// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+// Formats a double so it round-trips and never prints as NaN/Inf (which are
+// not valid JSON); non-finite inputs serialize as null-like 0 with a loss of
+// information accepted (telemetry values are durations and counts).
+std::string json_number(double d);
+
+}  // namespace sdnprobe::telemetry

@@ -1,0 +1,49 @@
+#include "telemetry/trace.h"
+
+#include "util/logging.h"
+
+namespace sdnprobe::telemetry {
+namespace {
+
+thread_local int t_span_depth = 0;
+
+}  // namespace
+
+int current_span_depth() { return t_span_depth; }
+
+TraceSpan::TraceSpan(MetricsRegistry& registry, std::string_view name,
+                     SimClock sim_clock) {
+  if (!registry.enabled()) return;
+  registry_ = &registry;
+  sim_clock_ = std::move(sim_clock);
+  record_.name = std::string(name);
+  record_.depth = t_span_depth++;
+  record_.thread = util::thread_ordinal();
+  if (sim_clock_) {
+    record_.has_sim = true;
+    record_.sim_start_s = sim_clock_();
+  }
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (registry_ == nullptr) return;
+  record_.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start_)
+          .count();
+  if (record_.has_sim) record_.sim_end_s = sim_clock_();
+  --t_span_depth;
+  // Per-name duration aggregate alongside the raw record, so long runs keep
+  // useful summaries even after the span list hits its cap.
+  registry_->histogram("span." + record_.name + ".wall_ms")
+      .record(record_.wall_ms);
+  registry_->record_span(std::move(record_));
+}
+
+void TraceSpan::annotate(std::string_view key, double value) {
+  if (registry_ == nullptr) return;
+  record_.attrs.emplace_back(std::string(key), value);
+}
+
+}  // namespace sdnprobe::telemetry

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 namespace sdnprobe::util {
 namespace {
@@ -42,6 +45,32 @@ const char* basename_of(const char* path) {
 
 }  // namespace
 
+std::uint64_t thread_ordinal() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+std::string format_log_prefix(LogLevel level, const char* file, int line) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix),
+                "[%s %02d:%02d:%02d.%03d t%02llu] %s:%d: ", level_tag(level),
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(millis),
+                static_cast<unsigned long long>(thread_ordinal()),
+                basename_of(file), line);
+  return prefix;
+}
+
 LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
 
 void set_log_threshold(LogLevel level) {
@@ -69,8 +98,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= log_threshold() && level != LogLevel::kOff),
       level_(level) {
   if (enabled_) {
-    stream_ << '[' << level_tag(level) << "] " << basename_of(file) << ':'
-            << line << ": ";
+    stream_ << format_log_prefix(level, file, line);
   }
 }
 

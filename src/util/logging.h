@@ -2,6 +2,7 @@
 // run quietly (benches) or verbosely (debugging a localization run).
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -23,6 +24,17 @@ void set_log_threshold(LogLevel level);
 // Parses a level name ("debug"/"info"/"warn"/"warning"/"error"/"off",
 // case-insensitive); nullopt on anything else. Exposed for tests and CLIs.
 std::optional<LogLevel> parse_log_level(std::string_view name);
+
+// Small sequential id of the calling thread (1 = first thread to log or
+// trace). ThreadPool workers interleave on stderr; the per-line id is what
+// makes those interleavings attributable. Telemetry span records reuse the
+// same ordinal so spans and log lines from one thread correlate.
+std::uint64_t thread_ordinal();
+
+// Renders the log-line prefix for one (level, file, line) triple at the
+// current instant: "[LEVEL HH:MM:SS.mmm tNN] file.cc:42: ". Exposed so
+// tests can pin the format without scraping stderr.
+std::string format_log_prefix(LogLevel level, const char* file, int line);
 
 namespace internal {
 

@@ -44,7 +44,9 @@ class Samples {
   double stddev() const;
   double min() const;
   double max() const;
-  // Linear-interpolated quantile, q in [0,1]. Requires a non-empty set.
+  // Linear-interpolated quantile; q is clamped to [0,1]. Defined on an
+  // empty set: returns 0.0 (like mean()/min()/max()), so telemetry
+  // histograms and bench summaries can export quantiles unconditionally.
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
   const std::vector<double>& values() const { return xs_; }

@@ -1,11 +1,21 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "util/check.h"
 
 namespace sdnprobe::util {
+namespace {
+
+std::atomic<ThreadPoolObserver*> g_pool_observer{nullptr};
+
+}  // namespace
+
+void set_thread_pool_observer(ThreadPoolObserver* observer) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
 
 ThreadPool::ThreadPool(std::size_t worker_count) {
   if (worker_count == 0) {
@@ -28,12 +38,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   SDNPROBE_CHECK(task != nullptr) << "enqueue of an empty task";
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     SDNPROBE_CHECK(!stop_) << "enqueue on a ThreadPool being destroyed";
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  if (ThreadPoolObserver* obs =
+          g_pool_observer.load(std::memory_order_acquire)) {
+    obs->on_queue_depth(depth);
+  }
 }
 
 std::size_t ThreadPool::resolve_thread_count(int requested) {
@@ -54,6 +70,10 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     task();
+    if (ThreadPoolObserver* obs =
+            g_pool_observer.load(std::memory_order_acquire)) {
+      obs->on_task_run();
+    }
   }
 }
 

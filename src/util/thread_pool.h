@@ -21,6 +21,23 @@
 
 namespace sdnprobe::util {
 
+// Scheduling-event hook for the telemetry layer (util cannot depend on
+// src/telemetry, so the dependency is inverted: telemetry installs an
+// observer here). Callbacks fire on enqueue (with the post-push queue
+// depth) and after each task completes; both may run concurrently from
+// multiple threads and must be cheap and non-blocking.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  virtual void on_task_run() = 0;
+  virtual void on_queue_depth(std::size_t depth) = 0;
+};
+
+// Installs the process-wide observer (nullptr uninstalls). The observer
+// must outlive every ThreadPool; with none installed the hook is one
+// relaxed atomic load per event.
+void set_thread_pool_observer(ThreadPoolObserver* observer);
+
 // Fixed-size pool of worker threads draining a FIFO task queue. The pool is
 // intended to be built once per component (e.g. one per FaultLocalizer) and
 // reused across detection rounds; construction cost is a few microseconds

@@ -1,9 +1,12 @@
 // Tests for the utility layer: RNG determinism and distribution sanity,
 // streaming statistics, quantiles, confusion-count arithmetic, and log-level
-// parsing (the SDNPROBE_LOG environment override).
+// parsing (the SDNPROBE_LOG environment override) plus the line-prefix
+// format (timestamp + thread ordinal).
 #include <gtest/gtest.h>
 
+#include <regex>
 #include <set>
+#include <thread>
 
 #include "util/logging.h"
 #include "util/rng.h"
@@ -129,6 +132,22 @@ TEST(SamplesTest, QuantilesInterpolate) {
   EXPECT_NEAR(s.mean(), 50.5, 1e-9);
 }
 
+// Regression: every Samples statistic is defined (0.0) on an empty set, the
+// same convention as Accumulator — telemetry histograms export quantiles
+// unconditionally and must not hit UB before the first record.
+TEST(SamplesTest, EmptySetStatisticsAreZero) {
+  const Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
 TEST(SamplesTest, AddAfterQuantileStillCorrect) {
   Samples s;
   s.add(3.0);
@@ -175,6 +194,26 @@ TEST(Logging, ParseLogLevelRejectsUnknownNames) {
   EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
   EXPECT_EQ(parse_log_level("warn "), std::nullopt);
   EXPECT_EQ(parse_log_level("2"), std::nullopt);
+}
+
+TEST(Logging, PrefixCarriesLevelTimestampThreadAndLocation) {
+  const std::string p = format_log_prefix(LogLevel::kWarn, "dir/file.cc", 42);
+  // "[WARN  12:34:56.789 t01] file.cc:42: " — wall-clock time of day with
+  // milliseconds plus the per-thread ordinal shared with trace spans.
+  const std::regex re(
+      R"(\[WARN  \d{2}:\d{2}:\d{2}\.\d{3} t\d{2,}\] file\.cc:42: )");
+  EXPECT_TRUE(std::regex_match(p, re)) << "prefix was: " << p;
+}
+
+TEST(Logging, ThreadOrdinalIsStablePerThreadAndUniqueAcrossThreads) {
+  const std::uint64_t mine = thread_ordinal();
+  EXPECT_GE(mine, 1u);
+  EXPECT_EQ(thread_ordinal(), mine);  // stable on repeated calls
+  std::uint64_t other = 0;
+  std::thread t([&] { other = thread_ordinal(); });
+  t.join();
+  EXPECT_NE(other, mine);
+  EXPECT_EQ(thread_ordinal(), mine);  // unchanged by other threads
 }
 
 TEST(Logging, SetLogThresholdRoundTrips) {

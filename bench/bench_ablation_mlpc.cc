@@ -127,8 +127,8 @@ int main(int argc, char** argv) {
       std::set<core::VertexId> terminals;
       for (std::uint64_t seed = 1; seed <= 5; ++seed) {
         core::MlpcConfig mc;
-        mc.randomized = true;
-        mc.seed = seed;
+        mc.common.randomized = true;
+        mc.common.seed = seed;
         mc.stitch_accept_probability = accept;
         const auto cover = core::MlpcSolver(mc).solve(snap);
         probes.add(static_cast<double>(cover.path_count()));

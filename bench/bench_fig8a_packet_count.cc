@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
 
       core::LocalizerConfig lc;
       core::FaultLocalizer det(snap, ctrl, loop, lc);
-      lc.randomized = true;
+      lc.common.randomized = true;
       core::FaultLocalizer rnd(snap, ctrl, loop, lc);
       baselines::AtpgConfig ac;
       ac.max_candidate_paths = atpg_pool_cap;

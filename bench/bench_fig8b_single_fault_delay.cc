@@ -32,9 +32,7 @@ DelayRow run_case(const bench::Workload& w, std::uint64_t fault_seed) {
   auto plant_one = [&](dataplane::Network& net) {
     util::Rng rng(fault_seed);
     const auto ids = core::choose_faulty_entries(graph, 1, rng);
-    dataplane::FaultSpec spec;
-    spec.kind = dataplane::FaultKind::kDrop;
-    net.faults().add_fault(ids[0], spec);
+    net.faults().add_fault(ids[0], dataplane::FaultSpec::Drop());
     return w.rules.entry(ids[0]).switch_id;
   };
 
@@ -48,7 +46,7 @@ DelayRow run_case(const bench::Workload& w, std::uint64_t fault_seed) {
       case 0:
       case 1: {
         core::LocalizerConfig lc;
-        lc.randomized = (scheme == 1);
+        lc.common.randomized = (scheme == 1);
         lc.max_rounds = 64;
         core::FaultLocalizer loc(snap, ctrl, loop, lc);
         rep = loc.run([truth](const core::DetectionReport& r) {

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
         case 0:
         case 1: {
           core::LocalizerConfig lc;
-          lc.randomized = (scheme == 1);
+          lc.common.randomized = (scheme == 1);
           lc.max_rounds = 96;
           core::FaultLocalizer loc(snap, ctrl, loop, lc);
           rep = loc.run([&truth](const core::DetectionReport& r) {

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
         core::DetectionReport rep;
         if (scheme <= 1) {
           core::LocalizerConfig lc;
-          lc.randomized = (scheme == 1);
+          lc.common.randomized = (scheme == 1);
           lc.max_rounds = 96;
           core::FaultLocalizer loc(snap, ctrl, loop, lc);
           rep = loc.run();

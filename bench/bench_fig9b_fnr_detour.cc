@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
         core::DetectionReport rep;
         if (scheme <= 1) {
           core::LocalizerConfig lc;
-          lc.randomized = (scheme == 1);
+          lc.common.randomized = (scheme == 1);
           lc.max_rounds = scheme == 1 ? randomized_round_budget : 8;
           lc.quiet_full_rounds_to_stop =
               scheme == 1 ? randomized_round_budget : 1;

@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
   std::printf("\nRandomized SDNProbe FNR over time:\n");
   std::printf("%10s %10s %8s\n", "time(s)", "FNR", "round");
   core::LocalizerConfig lc;
-  lc.randomized = true;
+  lc.common.randomized = true;
   lc.max_rounds = full ? 400 : 200;
   lc.quiet_full_rounds_to_stop = lc.max_rounds;
   core::FaultLocalizer loc(snap, ctrl, loop, lc);

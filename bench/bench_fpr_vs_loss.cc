@@ -1,0 +1,114 @@
+// Error-prone environment: false positive rate vs probe loss rate, with and
+// without confirmation retries (DESIGN.md §11).
+//
+// The paper's title promise — fault localization in the *error-prone*
+// environment — requires that channel loss not be misread as rule faults.
+// This bench plants a few persistent drop faults, then sweeps the channel's
+// probe loss rate against the localizer's confirm_retries budget. Expected
+// shape: with retries disabled, any nonzero loss produces spurious path
+// failures that accumulate into false positives and keep the run from
+// quiescing; with confirm_retries >= 2 the residual miss probability per
+// probe is ~p^3, so FPR returns to 0 while the planted faults (which fail
+// every retry too) stay exactly localized.
+#include <cstdio>
+#include <vector>
+
+#include "core/analysis_snapshot.h"
+#include "bench/bench_util.h"
+
+using namespace sdnprobe;
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  bench::print_header("FPR vs probe loss rate x confirmation retries",
+                      "SDNProbe ICDCS'18 error-prone environment (title, "
+                      "SSVIII)");
+  bench::BenchReport report("fpr_vs_loss",
+                            "SDNProbe ICDCS'18 error-prone environment", full);
+
+  bench::WorkloadSpec spec;
+  spec.switches = full ? 30 : 20;
+  spec.links = full ? 54 : 36;
+  spec.rule_target = full ? 6000 : 2500;
+  spec.seed = 11;
+  const bench::Workload w = bench::make_chain_workload(spec);
+  core::RuleGraph graph(w.rules);
+  const core::AnalysisSnapshot snap(graph);
+  const int runs = smoke ? 1 : (full ? 10 : 3);
+  // A small fraction of switches gets drop faults, several entries each —
+  // multiple faulty entries per switch keep one fault from shadowing
+  // another on a shared tested path (same setup as the Fig. 9(a) bench).
+  const double faulty_fraction = 0.15;
+  std::printf("topology: %d switches, %zu rules; %d runs per point; "
+              "drop faults on %.0f%% of switches\n\n",
+              spec.switches, w.rules.entry_count(), runs,
+              faulty_fraction * 100.0);
+  report.set_param("switches", spec.switches);
+  report.set_param("rules", std::uint64_t{w.rules.entry_count()});
+  report.set_param("runs_per_point", runs);
+  report.set_param("faulty_switch_fraction", faulty_fraction);
+
+  // Loss applies to every link hop and control transit, so the per-probe
+  // loss probability is several times the per-hop rate.
+  const std::vector<double> losses =
+      smoke ? std::vector<double>{0.0, 0.01}
+            : std::vector<double>{0.0, 0.002, 0.01, 0.02};
+  const std::vector<int> retry_budgets =
+      smoke ? std::vector<int>{0, 2} : std::vector<int>{0, 1, 2, 3};
+
+  std::printf("%8s %8s | %8s %8s %12s %12s %10s %10s\n", "loss", "retries",
+              "FPR", "FNR", "detect_s", "probes", "retries", "recovered");
+  for (const double loss : losses) {
+    for (const int retries : retry_budgets) {
+      util::Samples fpr, fnr, detect_s, probes, retries_sent, recovered;
+      for (int run = 0; run < runs; ++run) {
+        sim::EventLoop loop;
+        dataplane::NetworkConfig nc;
+        nc.channel.link_loss = loss;
+        nc.channel.control_loss = loss;
+        nc.channel.seed = 0xC4A11 + static_cast<std::uint64_t>(run);
+        dataplane::Network net(w.rules, loop, nc);
+        controller::Controller ctrl(w.rules, net);
+        util::Rng rng(100 + static_cast<std::uint64_t>(run));
+        const auto ids = core::choose_entries_on_switch_fraction(
+            graph, faulty_fraction, /*entries_per_switch=*/3, rng);
+        for (const flow::EntryId e : ids) {
+          net.faults().add_fault(e, dataplane::FaultSpec::Drop());
+        }
+        const auto truth = net.faulty_switches();
+        core::LocalizerConfig lc;
+        lc.max_rounds = 96;
+        lc.confirm_retries = retries;
+        lc.adaptive_timeout = true;
+        core::FaultLocalizer loc(snap, ctrl, loop, lc);
+        const auto rep = loc.run();
+        const auto score = core::score_detection(rep.flagged_switches, truth,
+                                                 w.rules.switch_count());
+        fpr.add(score.false_positive_rate());
+        fnr.add(score.false_negative_rate());
+        detect_s.add(rep.detection_time_s);
+        probes.add(static_cast<double>(rep.probes_sent));
+        retries_sent.add(static_cast<double>(rep.retries_sent));
+        recovered.add(static_cast<double>(rep.retry_recoveries));
+      }
+      std::printf("%7.1f%% %8d | %7.2f%% %7.2f%% %12.3f %12.0f %10.0f "
+                  "%10.0f\n",
+                  loss * 100.0, retries, fpr.mean() * 100.0,
+                  fnr.mean() * 100.0, detect_s.mean(), probes.mean(),
+                  retries_sent.mean(), recovered.mean());
+      auto& row = report.add_row();
+      row["loss_rate"] = loss;
+      row["confirm_retries"] = retries;
+      row["fpr"] = fpr.mean();
+      row["fnr"] = fnr.mean();
+      row["detection_time_s"] = detect_s.mean();
+      row["probes_sent"] = probes.mean();
+      row["retries_sent"] = retries_sent.mean();
+      row["retry_recoveries"] = recovered.mean();
+    }
+  }
+  std::printf("\nexpected shape: FPR > 0 at 1%% loss with retries = 0; "
+              "FPR = 0 with retries >= 2; FNR = 0 throughout\n");
+  return 0;
+}

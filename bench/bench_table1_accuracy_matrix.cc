@@ -82,7 +82,7 @@ CellResult run_cell(const bench::Workload& w,
     core::DetectionReport rep;
     if (scheme <= 1) {
       core::LocalizerConfig lc;
-      lc.randomized = (scheme == 1);
+      lc.common.randomized = (scheme == 1);
       lc.profile = &traffic.profile;
       // Intermittent faults need sustained monitoring for suspicion to
       // accumulate across their active windows (§VI).

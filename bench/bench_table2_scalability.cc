@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
       double t1 = 0.0;
       std::size_t ref = 0;
       for (const int threads : {1, 2, 4}) {
-        sweep.threads = threads;
+        sweep.common.threads = threads;
         util::WallTimer timer;
         const core::Cover c = core::MlpcSolver(sweep).solve(snap);
         const double s = timer.elapsed_seconds();

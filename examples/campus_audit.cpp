@@ -67,9 +67,7 @@ int main() {
         victim = e.id;
       }
     }
-    dataplane::FaultSpec fault;
-    fault.kind = dataplane::FaultKind::kDrop;
-    net.faults().add_fault(victim, fault);
+    net.faults().add_fault(victim, dataplane::FaultSpec::Drop());
     std::printf("injected: drop fault on entry %d (switch %d), shadowed by "
                 "%d higher-priority rules\n",
                 victim, rules.entry(victim).switch_id, best_chain);

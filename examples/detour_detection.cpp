@@ -68,7 +68,7 @@ int main() {
     plant(net);
     const auto truth = net.faulty_switches();
     core::LocalizerConfig lc;
-    lc.randomized = true;
+    lc.common.randomized = true;
     lc.max_rounds = 200;
     lc.quiet_full_rounds_to_stop = 200;
     core::FaultLocalizer loc(snap, ctrl, loop, lc);

@@ -63,9 +63,8 @@ int main() {
 
   util::Rng rng(7);
   const auto faulty = core::choose_faulty_entries(graph, 1, rng);
-  dataplane::FaultSpec fault;
-  fault.kind = dataplane::FaultKind::kDrop;  // silently drops matching packets
-  net.faults().add_fault(faulty[0], fault);
+  // Silently drops matching packets.
+  net.faults().add_fault(faulty[0], dataplane::FaultSpec::Drop());
   const flow::SwitchId culprit = rules.entry(faulty[0]).switch_id;
   std::printf("injected: drop fault on entry %d (switch %d)\n", faulty[0],
               culprit);

@@ -54,7 +54,7 @@ int main() {
     const auto truth = net.faulty_switches();
 
     core::LocalizerConfig lc;
-    lc.randomized = randomized;
+    lc.common.randomized = randomized;
     lc.profile = &traffic.profile;  // header randomization source (§V-C)
     lc.max_rounds = randomized ? 250 : 12;
     lc.quiet_full_rounds_to_stop = randomized ? 250 : 2;

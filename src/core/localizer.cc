@@ -1,6 +1,7 @@
 #include "core/localizer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "telemetry/metrics.h"
@@ -18,6 +19,9 @@ struct LocalizerInstruments {
   telemetry::Counter& probe_failures;
   telemetry::Counter& suspicion_updates;
   telemetry::Counter& switches_flagged;
+  telemetry::Counter& retries_sent;
+  telemetry::Counter& retry_recoveries;
+  telemetry::Counter& probe_timeouts;
 
   static LocalizerInstruments& get() {
     static auto& reg = telemetry::MetricsRegistry::global();
@@ -26,6 +30,9 @@ struct LocalizerInstruments {
         reg.counter("localizer.probe_failures"),
         reg.counter("localizer.suspicion_updates"),
         reg.counter("localizer.switches_flagged"),
+        reg.counter("localizer.retries_sent"),
+        reg.counter("localizer.retry_recoveries"),
+        reg.counter("localizer.probe_timeouts"),
     };
     return i;
   }
@@ -34,8 +41,14 @@ struct LocalizerInstruments {
 }  // namespace
 
 bool DetectionReport::flagged(flow::SwitchId s) const {
-  return std::binary_search(flagged_switches.begin(), flagged_switches.end(),
-                            s);
+  // Flags only accumulate, so a size mismatch is the complete staleness
+  // signal; rebuilding on it keeps the common lookup O(1) while staying
+  // correct for callers that assign flagged_switches wholesale.
+  if (flagged_lookup_.size() != flagged_switches.size()) {
+    flagged_lookup_.clear();
+    flagged_lookup_.insert(flagged_switches.begin(), flagged_switches.end());
+  }
+  return flagged_lookup_.count(s) != 0;
 }
 
 FaultLocalizer::FaultLocalizer(const AnalysisSnapshot& snapshot,
@@ -46,30 +59,32 @@ FaultLocalizer::FaultLocalizer(const AnalysisSnapshot& snapshot,
       ctrl_(&ctrl),
       loop_(&loop),
       config_(config),
-      pool_(util::ThreadPool::resolve_thread_count(config.threads) > 1
+      pool_(util::ThreadPool::resolve_thread_count(config.common.threads) > 1
                 ? std::make_unique<util::ThreadPool>(
-                      util::ThreadPool::resolve_thread_count(config.threads))
+                      util::ThreadPool::resolve_thread_count(
+                          config.common.threads))
                 : nullptr),
-      engine_(snapshot, ProbeEngineConfig{.threads = config.threads},
+      engine_(snapshot,
+              ProbeEngineConfig{.common = {.threads = config.common.threads}},
               pool_.get()),
-      rng_(config.seed) {}
+      rng_(config.common.seed) {}
 
-void FaultLocalizer::charge_wall_time(double seconds) {
+void FaultLocalizer::charge_wall_time(double seconds) const {
   if (config_.charge_generation_time && seconds > 0.0) {
     loop_->run_until(loop_->now() + seconds);
   }
 }
 
-std::vector<Probe> FaultLocalizer::generate_full_cover() {
+std::vector<Probe> FaultLocalizer::generate_full_cover() const {
   telemetry::TraceSpan span("localizer.generate_full_cover",
                             [this] { return loop_->now(); });
   util::WallTimer timer;
-  if (!config_.randomized) {
+  if (!config_.common.randomized) {
     if (!fixed_ready_) {
       MlpcConfig mc;
-      mc.randomized = false;
+      mc.common.randomized = false;
+      mc.common.threads = config_.common.threads;
       mc.search_budget = config_.mlpc_search_budget;
-      mc.threads = config_.threads;
       const Cover cover = MlpcSolver(mc, pool_.get()).solve(*snapshot_);
       fixed_probes_ = engine_.make_probes(cover, rng_, nullptr);
       fixed_ready_ = true;
@@ -81,11 +96,19 @@ std::vector<Probe> FaultLocalizer::generate_full_cover() {
     // paper's deterministic variant does).
     return fixed_probes_;
   }
+  // Randomized mode: a cover staged by initial_probe_count() is consumed
+  // first so querying the count does not advance the RNG stream relative to
+  // a run that never queried it.
+  if (staged_.has_value()) {
+    std::vector<Probe> probes = std::move(*staged_);
+    staged_.reset();
+    return probes;
+  }
   MlpcConfig mc;
-  mc.randomized = true;
-  mc.seed = rng_.next();
+  mc.common.randomized = true;
+  mc.common.seed = rng_.next();
+  mc.common.threads = config_.common.threads;
   mc.search_budget = config_.mlpc_search_budget;
-  mc.threads = config_.threads;
   const Cover cover = MlpcSolver(mc, pool_.get()).solve(*snapshot_);
   engine_.reset_uniqueness();
   if (config_.profile && !config_.profile->empty()) {
@@ -98,10 +121,30 @@ std::vector<Probe> FaultLocalizer::generate_full_cover() {
   return probes;
 }
 
-std::size_t FaultLocalizer::initial_probe_count() {
-  if (config_.randomized) return generate_full_cover().size();
+std::size_t FaultLocalizer::initial_probe_count() const {
+  if (config_.common.randomized) {
+    if (!staged_.has_value()) staged_ = generate_full_cover();
+    return staged_->size();
+  }
   if (!fixed_ready_) generate_full_cover();
   return fixed_probes_.size();
+}
+
+double FaultLocalizer::effective_grace() const {
+  if (config_.adaptive_timeout && max_rtt_s_ > 0.0) {
+    return std::max(config_.timeout_floor_s,
+                    config_.timeout_rtt_multiplier * max_rtt_s_);
+  }
+  return config_.round_grace_s;
+}
+
+double FaultLocalizer::probe_timeout(const Probe& p) const {
+  if (!config_.adaptive_timeout) return config_.round_grace_s;
+  const auto it = span_rtt_s_.find({p.entries.front(), p.entries.back()});
+  const double rtt = it != span_rtt_s_.end() ? it->second : max_rtt_s_;
+  if (rtt <= 0.0) return config_.round_grace_s;
+  return std::max(config_.timeout_floor_s,
+                  config_.timeout_rtt_multiplier * rtt);
 }
 
 DetectionReport FaultLocalizer::run(RoundCallback callback) {
@@ -150,7 +193,7 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
     // --- Install test points (batched FlowMods: one control RTT). ---
     std::vector<ActiveProbe> active;
     active.reserve(pending.size());
-    std::unordered_map<std::uint64_t, std::size_t> by_id;
+    std::unordered_map<std::uint64_t, Pending> by_id;
     for (const PendingProbe& pp : pending) {
       ActiveProbe ap;
       ap.linger = pp.linger;
@@ -158,7 +201,7 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
       ap.probe.probe_id = next_round_probe_id++;
       ap.test_point = ctrl_->install_test_point(pp.probe.terminal_entry,
                                                 pp.probe.expected_return);
-      by_id[ap.probe.probe_id] = active.size();
+      by_id[ap.probe.probe_id] = Pending{active.size(), 0.0};
       active.push_back(std::move(ap));
     }
     loop_->run_until(loop_->now() +
@@ -167,11 +210,19 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
     // --- Inject probes at the configured rate; collect returns. ---
     ctrl_->set_probe_return_handler(
         [&](std::uint64_t id, flow::SwitchId from, const dataplane::Packet& pk,
-            sim::SimTime) {
+            sim::SimTime now) {
           const auto it = by_id.find(id);
           if (it == by_id.end()) return;  // stale return from prior round
-          ActiveProbe& ap = active[it->second];
+          ActiveProbe& ap = active[it->second.index];
+          if (ap.returned) return;  // duplicate delivery (channel dup)
           ap.returned = true;
+          const double rtt = now - it->second.sent_s;
+          if (rtt > 0.0) {
+            max_rtt_s_ = std::max(max_rtt_s_, rtt);
+            double& span_rtt = span_rtt_s_[{ap.probe.entries.front(),
+                                            ap.probe.entries.back()}];
+            span_rtt = std::max(span_rtt, rtt);
+          }
           const flow::SwitchId expect_sw =
               graph_->rules().entry(ap.probe.terminal_entry).switch_id;
           if (from != expect_sw || !(pk.header == ap.probe.expected_return)) {
@@ -188,12 +239,55 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
       pk.probe_id = ap.probe.probe_id;
       pk.size_bytes = config_.probe_size_bytes;
       const flow::SwitchId sw = ap.probe.inject_switch;
+      by_id[ap.probe.probe_id].sent_s = t;
       loop_->schedule_at(t, [this, sw, pk]() { ctrl_->send_packet(sw, pk); });
       t += spacing;
       ++report.probes_sent;
       LocalizerInstruments::get().probes_sent.add();
     }
-    loop_->run_until(t + config_.round_grace_s);
+    loop_->run_until(t + effective_grace());
+
+    // --- Confirmation retries (loss tolerance, DESIGN.md §11). ---
+    // A probe that did not return may be a victim of channel loss rather
+    // than a rule fault; re-send it (fresh correlation id, the stale one
+    // stays live so a late original still counts) up to confirm_retries
+    // times with exponential backoff before charging suspicion. A probe
+    // that returned *modified* is fault evidence and is never retried.
+    for (int attempt = 1; attempt <= config_.confirm_retries; ++attempt) {
+      if (std::none_of(active.begin(), active.end(),
+                       [](const ActiveProbe& ap) { return !ap.returned; })) {
+        break;
+      }
+      // Backoff first: a straggler that arrives during the wait clears its
+      // probe and needs no re-send.
+      loop_->run_until(loop_->now() + config_.retry_backoff_base_s *
+                                          std::ldexp(1.0, attempt - 1));
+      std::vector<std::size_t> missing;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!active[i].returned) missing.push_back(i);
+      }
+      if (missing.empty()) break;
+      double wait = 0.0;
+      double rt = loop_->now();
+      for (const std::size_t i : missing) {
+        ActiveProbe& ap = active[i];
+        ap.was_retried = true;
+        const std::uint64_t retry_id = next_round_probe_id++;
+        by_id[retry_id] = Pending{i, rt};
+        dataplane::Packet pk;
+        pk.header = ap.probe.header;
+        pk.probe_id = retry_id;
+        pk.size_bytes = config_.probe_size_bytes;
+        const flow::SwitchId sw = ap.probe.inject_switch;
+        loop_->schedule_at(rt, [this, sw, pk]() { ctrl_->send_packet(sw, pk); });
+        rt += spacing;
+        ++rec.retries;
+        ++report.retries_sent;
+        LocalizerInstruments::get().retries_sent.add();
+        wait = std::max(wait, probe_timeout(ap.probe));
+      }
+      loop_->run_until(rt + wait);
+    }
     ctrl_->set_probe_return_handler(nullptr);
 
     // --- Evaluate (Algorithm 2 lines 5-16). ---
@@ -215,11 +309,18 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
     for (ActiveProbe& ap : active) {
       const bool failed = !ap.returned || ap.mismatched;
       if (!failed) {
+        if (ap.was_retried) {
+          // Retry confirmed a clean path: the initial miss was channel loss.
+          ++rec.recovered;
+          ++report.retry_recoveries;
+          LocalizerInstruments::get().retry_recoveries.add();
+        }
         // Localization probes linger so they are already in flight when an
         // intermittent fault's next active window opens.
         if (ap.linger > 1) queue_probe(ap.probe, ap.linger - 1);
         continue;
       }
+      if (!ap.returned) LocalizerInstruments::get().probe_timeouts.add();
       bool explained = false;
       for (const flow::EntryId e : ap.probe.entries) {
         if (flagged_.count(graph_->rules().entry(e).switch_id)) {

@@ -19,11 +19,16 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "controller/controller.h"
 #include "core/analysis_snapshot.h"
+#include "core/common_options.h"
 #include "core/mlpc.h"
 #include "core/probe_engine.h"
 #include "core/rule_graph.h"
@@ -63,9 +68,13 @@ struct LocalizerConfig {
   // and sample only its inactive windows, hiding it forever.
   double round_jitter_s = 0.15;
   int max_rounds = 64;
-  // Randomized SDNProbe: re-draw cover and headers at every full restart.
-  bool randomized = false;
-  std::uint64_t seed = 1;
+  // Shared knobs (core/common_options.h): `randomized` selects Randomized
+  // SDNProbe (re-draw cover and headers at every full restart), `seed` feeds
+  // the localizer's RNG, `threads` is shared by cover (re)generation and
+  // probe construction (0 = hardware_concurrency, 1 = serial; results are
+  // identical for any value — the localizer owns one pool and reuses it
+  // across rounds).
+  CommonOptions common;
   // Optional traffic profile for header randomization (used in randomized
   // mode; ignored otherwise to keep deterministic headers stable).
   const TrafficProfile* profile = nullptr;
@@ -76,10 +85,26 @@ struct LocalizerConfig {
   bool charge_generation_time = true;
   // MLPC search budget (see MlpcConfig).
   std::size_t mlpc_search_budget = 4096;
-  // Worker threads shared by cover (re)generation and probe construction
-  // (0 = hardware_concurrency, 1 = serial). Results are identical for any
-  // value; the localizer owns one pool and reuses it across rounds.
-  int threads = 1;
+
+  // ---- Loss tolerance (environmental noise, DESIGN.md §11) ----
+  //
+  // On an error-prone channel a probe can vanish for reasons unrelated to
+  // rule faults. With `confirm_retries` > 0 a probe that fails to *return*
+  // is re-sent up to that many times (with exponential backoff starting at
+  // `retry_backoff_base_s`) before its path is charged with suspicion; a
+  // probe that returns *modified* is fault evidence and is never retried.
+  // All knobs default off so a zero-noise run is bit-identical to builds
+  // that predate the channel model.
+  int confirm_retries = 0;
+  double retry_backoff_base_s = 0.02;
+  // Adaptive timeouts: derive the per-round grace period (and per-probe
+  // retry timeouts) from observed PacketIn RTTs — `timeout_rtt_multiplier`
+  // times the largest RTT seen so far, floored at `timeout_floor_s` —
+  // instead of the fixed `round_grace_s`. Until an RTT has been observed,
+  // `round_grace_s` is used.
+  bool adaptive_timeout = false;
+  double timeout_rtt_multiplier = 3.0;
+  double timeout_floor_s = 0.01;
 };
 
 struct RoundRecord {
@@ -88,6 +113,10 @@ struct RoundRecord {
   double end_s = 0.0;
   std::size_t probes = 0;
   std::size_t failures = 0;
+  // Confirmation re-sends issued this round and how many of the retried
+  // probes ultimately returned clean (loss absorbed, no suspicion charged).
+  std::size_t retries = 0;
+  std::size_t recovered = 0;
   std::vector<flow::SwitchId> newly_flagged;
 };
 
@@ -98,10 +127,20 @@ struct DetectionReport {
   // Total simulated time of the run.
   double total_time_s = 0.0;
   std::size_t probes_sent = 0;
+  // Confirmation re-sends across all rounds, and how many initially missing
+  // probes a retry confirmed as mere channel loss (returned clean).
+  std::size_t retries_sent = 0;
+  std::size_t retry_recoveries = 0;
   int rounds = 0;
   std::vector<RoundRecord> round_log;
 
+  // O(1) membership test against flagged_switches (hash lookup backed by a
+  // lazily rebuilt cache; safe against callers that assign the vector
+  // directly, since flags only ever accumulate).
   bool flagged(flow::SwitchId s) const;
+
+ private:
+  mutable std::unordered_set<flow::SwitchId> flagged_lookup_;
 };
 
 class FaultLocalizer {
@@ -123,8 +162,11 @@ class FaultLocalizer {
     return suspicion_;
   }
 
-  // Number of probes in the initial full cover (Fig. 8(a) metric).
-  std::size_t initial_probe_count();
+  // Number of probes in the initial full cover (Fig. 8(a) metric). Const:
+  // the generated cover is cached (staged, in randomized mode) and consumed
+  // verbatim by the first round of run(), so querying the count never
+  // changes what the run sends.
+  std::size_t initial_probe_count() const;
 
  private:
   struct ActiveProbe {
@@ -132,12 +174,27 @@ class FaultLocalizer {
     controller::TestPointId test_point;
     bool returned = false;
     bool mismatched = false;
+    bool was_retried = false;  // at least one confirmation re-send issued
     int linger = 0;  // remaining lingering rounds (localization probes)
+  };
+  // Correlates a PacketIn back to its probe: index into the round's active
+  // probe list plus the injection time (for RTT observation).
+  struct Pending {
+    std::size_t index = 0;
+    double sent_s = 0.0;
   };
 
   // (Re)generates the full-cover probe list; charges wall time to sim time.
-  std::vector<Probe> generate_full_cover();
-  void charge_wall_time(double seconds);
+  // Mutable path: consumes staged_ first when initial_probe_count() already
+  // generated a cover.
+  std::vector<Probe> generate_full_cover() const;
+  void charge_wall_time(double seconds) const;
+  // Grace period for in-flight returns: fixed round_grace_s, or derived
+  // from observed RTTs when adaptive_timeout is on and an RTT exists.
+  double effective_grace() const;
+  // Retry timeout for one probe: its span's observed RTT if known, else the
+  // global max RTT, else effective_grace().
+  double probe_timeout(const Probe& p) const;
 
   const AnalysisSnapshot* snapshot_;
   const RuleGraph* graph_;
@@ -146,19 +203,29 @@ class FaultLocalizer {
   LocalizerConfig config_;
   // Declared before engine_: the engine borrows the pool. Null when serial.
   std::unique_ptr<util::ThreadPool> pool_;
-  ProbeEngine engine_;
-  util::Rng rng_;
+  // Cover/probe generation state is mutable so the const
+  // initial_probe_count() can build and cache the first cover.
+  mutable ProbeEngine engine_;
+  mutable util::Rng rng_;
   // Deterministic mode: the fixed cover probes, reused each restart.
-  std::vector<Probe> fixed_probes_;
-  bool fixed_ready_ = false;
+  mutable std::vector<Probe> fixed_probes_;
+  mutable bool fixed_ready_ = false;
+  // Randomized mode: a cover generated by initial_probe_count() ahead of
+  // run(), consumed by the first generate_full_cover() call so the RNG
+  // stream (and thus the whole run) is unchanged by the query.
+  mutable std::optional<std::vector<Probe>> staged_;
 
   std::map<flow::EntryId, int> suspicion_;
   std::set<flow::SwitchId> flagged_;
+  // Observed PacketIn RTTs for adaptive timeouts: the largest RTT seen so
+  // far, plus per-span maxima keyed by (first entry, terminal entry).
+  double max_rtt_s_ = 0.0;
+  std::map<std::pair<flow::EntryId, flow::EntryId>, double> span_rtt_s_;
   // Per-period traffic snapshot (§V-C h^t(ℓ)): refreshed at each full-cover
   // restart in randomized mode so a whole detection cycle samples headers
   // from the flows dominating that period.
-  TrafficProfile period_profile_;
-  bool have_period_ = false;
+  mutable TrafficProfile period_profile_;
+  mutable bool have_period_ = false;
   const TrafficProfile* active_profile() const {
     return have_period_ ? &period_profile_ : nullptr;
   }

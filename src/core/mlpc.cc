@@ -296,8 +296,8 @@ std::size_t Cover::total_vertices() const {
 Cover MlpcSolver::solve(const AnalysisSnapshot& snapshot) const {
   telemetry::TraceSpan span("mlpc.solve");
   MlpcInstruments::get().solves.add();
-  if (config_.randomized) {
-    Cover cover = solve_once(snapshot, config_.seed);
+  if (config_.common.randomized) {
+    Cover cover = solve_once(snapshot, config_.common.seed);
     span.annotate("cover_size", static_cast<double>(cover.path_count()));
     telemetry::MetricsRegistry::global()
         .histogram("mlpc.cover_size")
@@ -313,10 +313,10 @@ Cover MlpcSolver::solve(const AnalysisSnapshot& snapshot) const {
   std::vector<Cover> results(restarts);
   auto run_restart = [&](std::size_t r) {
     results[r] = solve_once(
-        snapshot, util::Rng::derive(config_.seed, static_cast<std::uint64_t>(r)));
+        snapshot, util::Rng::derive(config_.common.seed, static_cast<std::uint64_t>(r)));
   };
   const std::size_t workers = std::min(
-      util::ThreadPool::resolve_thread_count(config_.threads), restarts);
+      util::ThreadPool::resolve_thread_count(config_.common.threads), restarts);
   if (workers <= 1) {
     for (std::size_t r = 0; r < restarts; ++r) run_restart(r);
   } else if (pool_ != nullptr) {
@@ -358,7 +358,7 @@ Cover MlpcSolver::solve_once(const AnalysisSnapshot& g,
   }
 
   util::Rng rng(seed);
-  util::Rng* rng_ptr = config_.randomized ? &rng : nullptr;
+  util::Rng* rng_ptr = config_.common.randomized ? &rng : nullptr;
 
   std::deque<int> worklist;
   {
@@ -403,7 +403,7 @@ Cover MlpcSolver::solve_once(const AnalysisSnapshot& g,
   // a stranded tail may capture the *suffix* of another cover path when the
   // donor's freshly exposed tail can itself merge onto a free head — one
   // alternation of the augmenting path, applied until a fixed point.
-  if (!config_.randomized) {
+  if (!config_.common.randomized) {
     for (int sweep = 0; sweep < 4; ++sweep) {
       bool progress = false;
       std::vector<Loc> loc = build_locations(V, paths);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/analysis_snapshot.h"
+#include "core/common_options.h"
 #include "core/rule_graph.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -51,8 +52,12 @@ struct Cover {
 };
 
 struct MlpcConfig {
-  bool randomized = false;
-  std::uint64_t seed = 1;
+  // Shared knobs (core/common_options.h): `randomized` selects the
+  // Dyer–Frieze random greedy matcher, `seed` feeds the per-restart derived
+  // streams, `threads` parallelizes the deterministic restarts (identical
+  // cover for every value — restart r always draws Rng::derive(seed, r) and
+  // the winner is the stable (cover size, restart index) tie-break).
+  CommonOptions common;
   // Per-stitch DFS budget: how many vertex expansions a tail may explore
   // while looking for a head to merge with. Large enough to behave as
   // exhaustive on the evaluation graphs; bounds worst-case blowup.
@@ -69,13 +74,6 @@ struct MlpcConfig {
   // the cost of more probes — the paper reports Randomized SDNProbe sends
   // 72% more test packets on average (§VIII-B).
   double stitch_accept_probability = 0.65;
-  // Worker threads for the deterministic restarts (each restart is an
-  // independent solve over the shared immutable snapshot). 0 = one worker
-  // per hardware thread, 1 = serial (default). The cover is identical for
-  // every value: restart r always draws stream util::Rng::derive(seed, r)
-  // and the winner is picked by the stable (cover size, restart index)
-  // tie-break, regardless of completion order.
-  int threads = 1;
 };
 
 class MlpcSolver {

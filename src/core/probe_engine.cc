@@ -163,7 +163,7 @@ std::vector<Probe> ProbeEngine::make_probes(const Cover& cover,
   };
   const std::size_t workers =
       n == 0 ? 1
-             : std::min(util::ThreadPool::resolve_thread_count(config_.threads),
+             : std::min(util::ThreadPool::resolve_thread_count(config_.common.threads),
                         n);
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) generate(i);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/analysis_snapshot.h"
+#include "core/common_options.h"
 #include "core/mlpc.h"
 #include "core/rule_graph.h"
 #include "core/traffic_profile.h"
@@ -49,10 +50,12 @@ struct ProbeStats {
 };
 
 struct ProbeEngineConfig {
-  // Worker threads for make_probes' candidate-generation phase
-  // (0 = hardware_concurrency, 1 = serial). Headers and stats are identical
-  // for any value; see the file comment.
-  int threads = 1;
+  // Shared knobs (core/common_options.h). The engine uses `threads` for
+  // make_probes' candidate-generation phase (0 = hardware_concurrency,
+  // 1 = serial; headers and stats identical for any value, see the file
+  // comment). `seed` / `randomized` are unused here — the engine draws all
+  // randomness from the caller-provided Rng.
+  CommonOptions common;
   // Header candidates sampled per path before the SAT fallback.
   int sample_attempts = 16;
 };

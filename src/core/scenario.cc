@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 namespace sdnprobe::core {
 
@@ -97,18 +98,17 @@ dataplane::FaultSpec make_fault(const RuleGraph& graph, flow::EntryId entry,
                                 const TrafficModel* traffic) {
   const flow::RuleSet& rules = graph.rules();
   const flow::FlowEntry& e = rules.entry(entry);
-  dataplane::FaultSpec spec;
-
   // Pick a basic kind among the enabled ones.
   std::vector<dataplane::FaultKind> kinds;
   if (mix.drop) kinds.push_back(dataplane::FaultKind::kDrop);
   if (mix.misdirect) kinds.push_back(dataplane::FaultKind::kMisdirect);
   if (mix.modify) kinds.push_back(dataplane::FaultKind::kModify);
   if (kinds.empty()) kinds.push_back(dataplane::FaultKind::kDrop);
-  spec.kind = kinds[rng.pick_index(kinds.size())];
+  const dataplane::FaultKind kind = kinds[rng.pick_index(kinds.size())];
+  dataplane::FaultSpec spec = dataplane::FaultSpec::Drop();
 
   const int width = rules.header_width();
-  if (spec.kind == dataplane::FaultKind::kMisdirect) {
+  if (kind == dataplane::FaultKind::kMisdirect) {
     // A wrong port: any port of the switch other than the intended one
     // (possibly the host port, which simply leaks the packet).
     const int degree = rules.topology().degree(e.switch_id);
@@ -119,8 +119,8 @@ dataplane::FaultSpec make_fault(const RuleGraph& graph, flow::EntryId entry,
       wrong = static_cast<flow::PortId>(rng.next_below(
           static_cast<std::uint64_t>(n_ports)));
     }
-    spec.misdirect_port = wrong;
-  } else if (spec.kind == dataplane::FaultKind::kModify) {
+    spec = dataplane::FaultSpec::Misdirect(wrong);
+  } else if (kind == dataplane::FaultKind::kModify) {
     // Corrupt a handful of bits the match wildcards, so the packet still
     // follows the path but returns altered / fails its exact-match capture.
     hsa::TernaryString set = hsa::TernaryString::wildcard(width);
@@ -137,14 +137,16 @@ dataplane::FaultSpec make_fault(const RuleGraph& graph, flow::EntryId entry,
                   static_cast<std::uint64_t>(width))),
               hsa::Trit::kOne);
     }
-    spec.modify_set = set;
+    spec = dataplane::FaultSpec::Modify(set);
   }
 
   if (rng.next_bool(mix.intermittent_fraction)) {
-    spec.intermittent = true;
-    spec.period_s = 0.5 + rng.next_double();
-    spec.duty_cycle = 0.2 + 0.4 * rng.next_double();
-    spec.phase_s = rng.next_double();
+    // Draw order is part of the deterministic contract; keep it explicit
+    // rather than relying on argument evaluation order.
+    const double period = 0.5 + rng.next_double();
+    const double duty = 0.2 + 0.4 * rng.next_double();
+    const double phase = rng.next_double();
+    spec.intermittent(period, duty, phase);
   }
   if (rng.next_bool(mix.targeting_fraction)) {
     hsa::TernaryString target = e.match;
@@ -165,7 +167,7 @@ dataplane::FaultSpec make_fault(const RuleGraph& graph, flow::EntryId entry,
         }
       }
     }
-    if (!(target == e.match)) spec.target = target;
+    if (!(target == e.match)) spec.targeting(std::move(target));
   }
   return spec;
 }
@@ -202,12 +204,9 @@ bool make_detour_fault(const RuleGraph& graph, flow::EntryId entry,
   const std::size_t pick =
       lo + rng.pick_index(downstream.size() - lo);
   const VertexId partner_vertex = downstream[pick];
-  dataplane::FaultSpec spec;
-  spec.kind = dataplane::FaultKind::kDetour;
-  spec.detour_partner =
-      graph.rules().entry(graph.entry_of(partner_vertex)).switch_id;
-  spec.detour_extra_latency_s = 1e-3 * static_cast<double>(pick + 1);
-  *out = spec;
+  *out = dataplane::FaultSpec::Detour(
+      graph.rules().entry(graph.entry_of(partner_vertex)).switch_id,
+      1e-3 * static_cast<double>(pick + 1));
   return true;
 }
 

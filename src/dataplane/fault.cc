@@ -1,12 +1,55 @@
 #include "dataplane/fault.h"
 
 #include <cmath>
+#include <utility>
 
 namespace sdnprobe::dataplane {
 
+FaultSpec FaultSpec::Drop() {
+  FaultSpec s;
+  s.kind = FaultKind::kDrop;
+  return s;
+}
+
+FaultSpec FaultSpec::Misdirect(flow::PortId port) {
+  FaultSpec s;
+  s.kind = FaultKind::kMisdirect;
+  s.misdirect_port = port;
+  return s;
+}
+
+FaultSpec FaultSpec::Modify(hsa::TernaryString set) {
+  FaultSpec s;
+  s.kind = FaultKind::kModify;
+  s.modify_set = std::move(set);
+  return s;
+}
+
+FaultSpec FaultSpec::Detour(flow::SwitchId partner, double extra_latency_s) {
+  FaultSpec s;
+  s.kind = FaultKind::kDetour;
+  s.detour_partner = partner;
+  s.detour_extra_latency_s = extra_latency_s;
+  return s;
+}
+
+FaultSpec& FaultSpec::intermittent(double period_seconds, double duty,
+                                   double phase_seconds) {
+  is_intermittent = true;
+  period_s = period_seconds;
+  duty_cycle = duty;
+  phase_s = phase_seconds;
+  return *this;
+}
+
+FaultSpec& FaultSpec::targeting(hsa::TernaryString cube) {
+  target = std::move(cube);
+  return *this;
+}
+
 bool FaultSpec::is_active(sim::SimTime now,
                           const hsa::TernaryString& header) const {
-  if (intermittent) {
+  if (is_intermittent) {
     const double t = std::fmod(now - phase_s, period_s);
     const double in_window = t < 0 ? t + period_s : t;
     if (in_window >= duty_cycle * period_s) return false;

@@ -26,6 +26,14 @@ enum class FaultKind {
   kDetour,
 };
 
+// Built with the named factories below; the preferred spelling is
+//   FaultSpec::Drop()
+//   FaultSpec::Misdirect(port).intermittent(1.0, 0.5)
+//   FaultSpec::Modify(set).targeting(cube)
+//   FaultSpec::Detour(partner, extra_latency_s)
+// The struct remains an aggregate for one more release so existing
+// field-by-field construction keeps compiling; new code should not rely on
+// that.
 struct FaultSpec {
   FaultKind kind = FaultKind::kDrop;
 
@@ -44,14 +52,25 @@ struct FaultSpec {
 
   // Intermittent fault: active only while
   //   fmod(now - phase_s, period_s) < duty_cycle * period_s.
-  bool intermittent = false;
+  bool is_intermittent = false;
   double period_s = 1.0;
   double duty_cycle = 0.5;
   double phase_s = 0.0;
 
   // Targeting fault: affects only headers inside `target` (a sub-cube of
-  // the entry's match field). Empty width (0) = affects all headers.
+  // the entry's match space). Empty width (0) = affects all headers.
   hsa::TernaryString target;
+
+  // --- Named factories (one per basic kind, §III-B). ---
+  static FaultSpec Drop();
+  static FaultSpec Misdirect(flow::PortId port);
+  static FaultSpec Modify(hsa::TernaryString set);
+  static FaultSpec Detour(flow::SwitchId partner, double extra_latency_s = 0.0);
+
+  // --- Chainable non-persistent modifiers (compose freely). ---
+  FaultSpec& intermittent(double period_seconds, double duty,
+                          double phase_seconds = 0.0);
+  FaultSpec& targeting(hsa::TernaryString cube);
 
   bool is_active(sim::SimTime now, const hsa::TernaryString& header) const;
 };

@@ -10,6 +10,7 @@ Network::Network(const flow::RuleSet& rules, sim::EventLoop& loop,
     : rules_(&rules),
       loop_(&loop),
       config_(config),
+      channel_(config.channel),
       tables_(static_cast<std::size_t>(rules.switch_count())) {
   SDNPROBE_CHECK_GT(config_.max_hops, 0);
   auto& reg = telemetry::MetricsRegistry::global();
@@ -88,15 +89,30 @@ void Network::update_entry(flow::SwitchId sw, flow::TableId table,
   }
 }
 
+void Network::control_transit(double base_delay,
+                              std::function<void()> deliver) {
+  if (channel_.noiseless()) {
+    loop_->schedule_in(base_delay, std::move(deliver));
+    return;
+  }
+  const ChannelModel::Delivery d = channel_.on_control();
+  for (int i = 0; i < d.copies; ++i) {
+    if (i + 1 == d.copies) {
+      loop_->schedule_in(base_delay + d.extra_delay_s[i], std::move(deliver));
+    } else {
+      loop_->schedule_in(base_delay + d.extra_delay_s[i], deliver);
+    }
+  }
+}
+
 void Network::packet_out(flow::SwitchId sw, Packet p) {
   SDNPROBE_CHECK_GE(sw, 0);
   SDNPROBE_CHECK_LT(sw, static_cast<int>(tables_.size()));
   SDNPROBE_DCHECK_EQ(p.header.width(), rules_->header_width());
   ++counters_.packets_injected;
   tm_.packet_outs->add();
-  loop_->schedule_in(config_.control_latency_s, [this, sw, p = std::move(p)] {
-    arrive(sw, p);
-  });
+  control_transit(config_.control_latency_s,
+                  [this, sw, p = std::move(p)] { arrive(sw, p); });
 }
 
 void Network::arrive(flow::SwitchId sw, Packet p) {
@@ -179,10 +195,10 @@ void Network::process(flow::SwitchId sw, Packet p, flow::TableId table) {
       ++counters_.packet_ins;
       tm_.packet_ins->add();
       if (packet_in_handler_) {
-        loop_->schedule_in(config_.control_latency_s,
-                           [this, sw, p = std::move(p)] {
-                             packet_in_handler_(sw, p, loop_->now());
-                           });
+        control_transit(config_.control_latency_s,
+                        [this, sw, p = std::move(p)] {
+                          packet_in_handler_(sw, p, loop_->now());
+                        });
       }
       return;
   }
@@ -195,9 +211,17 @@ void Network::emit(flow::SwitchId sw, flow::PortId port, Packet p) {
     tm_.forwarded->add();
     const double latency =
         rules_->topology().edge_latency(sw, *peer).value_or(1e-3);
-    loop_->schedule_in(latency, [this, peer = *peer, p = std::move(p)] {
-      arrive(peer, p);
-    });
+    if (channel_.noiseless()) {
+      loop_->schedule_in(latency, [this, peer = *peer, p = std::move(p)] {
+        arrive(peer, p);
+      });
+      return;
+    }
+    const ChannelModel::Delivery d = channel_.on_link(sw, *peer);
+    for (int i = 0; i < d.copies; ++i) {
+      loop_->schedule_in(latency + d.extra_delay_s[i],
+                         [this, peer = *peer, p] { arrive(peer, p); });
+    }
     return;
   }
   // Host / edge port: the packet leaves the network.

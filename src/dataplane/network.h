@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "dataplane/channel_model.h"
 #include "dataplane/fault.h"
 #include "dataplane/packet.h"
 #include "flow/ruleset.h"
@@ -27,6 +28,11 @@ struct NetworkConfig {
   double control_latency_s = 1e-3;
   // Safety net against accidental forwarding loops in the simulator.
   int max_hops = 128;
+  // Environmental noise (error-prone channels). All rates default to zero:
+  // a default-constructed Network is noiseless and bit-identical to one
+  // built before the channel model existed. Orthogonal to FaultInjector,
+  // which models *rule* faults; see channel_model.h.
+  ChannelModelConfig channel;
 };
 
 struct NetworkCounters {
@@ -90,6 +96,10 @@ class Network {
   FaultInjector& faults() { return faults_; }
   const FaultInjector& faults() const { return faults_; }
 
+  // The environmental-noise source (per-link overrides, noise counters).
+  ChannelModel& channel() { return channel_; }
+  const ChannelModel& channel() const { return channel_; }
+
   const NetworkCounters& counters() const { return counters_; }
   const flow::RuleSet& rules() const { return *rules_; }
   sim::EventLoop& loop() { return *loop_; }
@@ -108,10 +118,15 @@ class Network {
   void emit(flow::SwitchId sw, flow::PortId port, Packet p);
   void arrive(flow::SwitchId sw, Packet p);
 
+  // Applies channel noise to one control-channel transit: schedules
+  // `deliver` for each surviving copy after `base_delay` (+ jitter).
+  void control_transit(double base_delay, std::function<void()> deliver);
+
   const flow::RuleSet* rules_;
   sim::EventLoop* loop_;
   NetworkConfig config_;
   FaultInjector faults_;
+  ChannelModel channel_;
   // Runtime tables: tables_[switch][table]. Seeded from the RuleSet, then
   // mutated by install/remove/replace_action.
   std::vector<std::vector<flow::FlowTable>> tables_;

@@ -102,8 +102,7 @@ TEST(Network, DropFaultSwallowsPacket) {
   const flow::RuleSet rs = line_rules();
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
-  dataplane::FaultSpec f;
-  f.kind = dataplane::FaultKind::kDrop;
+  const auto f = dataplane::FaultSpec::Drop();
   net.faults().add_fault(1, f);  // entry id 1 = switch 1's rule
   int delivered = 0;
   net.set_host_delivery_handler(
@@ -122,9 +121,8 @@ TEST(Network, ModifyFaultAltersHeader) {
   const flow::RuleSet rs = line_rules();
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
-  dataplane::FaultSpec f;
-  f.kind = dataplane::FaultKind::kModify;
-  f.modify_set = ts("xxxxx111");  // corrupt host bits only: still routes
+  const auto f =
+      dataplane::FaultSpec::Modify(ts("xxxxx111"));  // corrupt host bits only
   net.faults().add_fault(0, f);
   hsa::TernaryString seen(8);
   net.set_host_delivery_handler(
@@ -143,9 +141,8 @@ TEST(Network, DetourSkipsIntermediateSwitch) {
   const flow::RuleSet rs = line_rules();
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
-  dataplane::FaultSpec f;
-  f.kind = dataplane::FaultKind::kDetour;
-  f.detour_partner = 2;  // tunnel from switch 0 straight to switch 2
+  // Tunnel from switch 0 straight to switch 2.
+  const auto f = dataplane::FaultSpec::Detour(/*partner=*/2);
   net.faults().add_fault(0, f);
   std::vector<flow::SwitchId> trace;
   net.set_host_delivery_handler(
@@ -164,12 +161,8 @@ TEST(Network, IntermittentFaultRespectsWindows) {
   const flow::RuleSet rs = line_rules();
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
-  dataplane::FaultSpec f;
-  f.kind = dataplane::FaultKind::kDrop;
-  f.intermittent = true;
-  f.period_s = 1.0;
-  f.duty_cycle = 0.5;  // active in [0, 0.5), inactive in [0.5, 1.0)
-  f.phase_s = 0.0;
+  // Active in [0, 0.5), inactive in [0.5, 1.0).
+  const auto f = dataplane::FaultSpec::Drop().intermittent(1.0, 0.5, 0.0);
   net.faults().add_fault(0, f);
   int delivered = 0;
   net.set_host_delivery_handler(
@@ -189,9 +182,8 @@ TEST(Network, TargetingFaultHitsOnlyVictimHeaders) {
   const flow::RuleSet rs = line_rules();
   sim::EventLoop loop;
   dataplane::Network net(rs, loop);
-  dataplane::FaultSpec f;
-  f.kind = dataplane::FaultKind::kDrop;
-  f.target = ts("0011xx11");  // only this sub-cube is affected
+  const auto f = dataplane::FaultSpec::Drop().targeting(
+      ts("0011xx11"));  // only this sub-cube is affected
   net.faults().add_fault(0, f);
   int delivered = 0;
   net.set_host_delivery_handler(

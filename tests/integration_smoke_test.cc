@@ -93,9 +93,7 @@ TEST(IntegrationSmoke, LocalizesSingleDropFault) {
   util::Rng rng(11);
   const auto faulty = core::choose_faulty_entries(graph, 1, rng);
   ASSERT_EQ(faulty.size(), 1u);
-  dataplane::FaultSpec spec;
-  spec.kind = dataplane::FaultKind::kDrop;
-  net.faults().add_fault(faulty[0], spec);
+  net.faults().add_fault(faulty[0], dataplane::FaultSpec::Drop());
   const flow::SwitchId faulty_switch = rs.entry(faulty[0]).switch_id;
 
   core::LocalizerConfig cfg;

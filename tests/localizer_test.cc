@@ -120,9 +120,7 @@ TEST(Localizer, SuspicionLevelsExposeTheCulprit) {
   Fixture fx(12, 900);
   util::Rng rng(2);
   const auto ids = choose_faulty_entries(*fx.graph, 1, rng);
-  dataplane::FaultSpec spec;
-  spec.kind = dataplane::FaultKind::kDrop;
-  fx.net->faults().add_fault(ids[0], spec);
+  fx.net->faults().add_fault(ids[0], dataplane::FaultSpec::Drop());
   FaultLocalizer loc(*fx.snap, *fx.ctrl, fx.loop);
   loc.run();
   const auto& suspicion = loc.suspicion_levels();
@@ -147,7 +145,7 @@ TEST(Localizer, DeterministicMissesDetourRandomizedCatches) {
     ASSERT_FALSE(planted.empty());
     const auto truth = fx.net->faulty_switches();
     LocalizerConfig lc;
-    lc.randomized = randomized;
+    lc.common.randomized = randomized;
     lc.max_rounds = randomized ? 150 : 10;
     lc.quiet_full_rounds_to_stop = randomized ? 150 : 1;
     FaultLocalizer loc(*fx.snap, *fx.ctrl, fx.loop, lc);

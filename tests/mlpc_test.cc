@@ -208,8 +208,8 @@ TEST_P(MlpcProperty, CoverInvariants) {
   EXPECT_TRUE(solver.is_stitch_free(snap, cover));
 
   MlpcConfig rc;
-  rc.randomized = true;
-  rc.seed = GetParam().seed;
+  rc.common.randomized = true;
+  rc.common.seed = GetParam().seed;
   const Cover random_cover = MlpcSolver(rc).solve(snap);
   std::set<VertexId> rcovered;
   for (const auto& p : random_cover.paths) {
@@ -240,8 +240,8 @@ TEST(MlpcRandomized, DifferentSeedsGiveDifferentTerminals) {
   std::set<std::set<VertexId>> terminal_sets;
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     MlpcConfig mc;
-    mc.randomized = true;
-    mc.seed = seed;
+    mc.common.randomized = true;
+    mc.common.seed = seed;
     const Cover c = MlpcSolver(mc).solve(snap);
     std::set<VertexId> terms;
     for (const auto& p : c.paths) terms.insert(p.vertices.back());

@@ -1,17 +1,23 @@
-// The PR-level determinism contract: MLPC covers, probe headers, and probe
-// stats are bit-identical for every thread count (threads = 1, 2, 8), both
-// with transient pools and with a shared pre-built pool, on a Table-2-sized
-// topology (30 switches / 54 links, thousands of rules).
+// The PR-level determinism contract: MLPC covers, probe headers, probe
+// stats, and end-to-end DetectionReports are bit-identical for every thread
+// count, both with transient pools and with a shared pre-built pool, on a
+// Table-2-sized topology (30 switches / 54 links, thousands of rules).
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "controller/controller.h"
 #include "core/analysis_snapshot.h"
+#include "core/localizer.h"
 #include "core/mlpc.h"
 #include "core/probe_engine.h"
 #include "core/rule_graph.h"
+#include "core/scenario.h"
+#include "dataplane/network.h"
 #include "flow/synthesizer.h"
+#include "sim/event_loop.h"
 #include "topo/generator.h"
 #include "util/thread_pool.h"
 
@@ -58,12 +64,12 @@ TEST(ParallelDeterminism, MlpcCoverIdenticalAcrossThreadCounts) {
 
   MlpcConfig mc;
   mc.deterministic_restarts = 6;
-  mc.threads = 1;
+  mc.common.threads = 1;
   const Cover reference = MlpcSolver(mc).solve(snap);
   EXPECT_GT(reference.path_count(), 0u);
 
   for (const int threads : {2, 8}) {
-    mc.threads = threads;
+    mc.common.threads = threads;
     const Cover cover = MlpcSolver(mc).solve(snap);
     EXPECT_EQ(cover_paths(cover), cover_paths(reference))
         << "threads=" << threads << " changed the deterministic cover";
@@ -71,7 +77,7 @@ TEST(ParallelDeterminism, MlpcCoverIdenticalAcrossThreadCounts) {
 
   // A shared pre-built pool (the FaultLocalizer setup) must agree too.
   util::ThreadPool pool(8);
-  mc.threads = 8;
+  mc.common.threads = 8;
   const Cover pooled = MlpcSolver(mc, &pool).solve(snap);
   EXPECT_EQ(cover_paths(pooled), cover_paths(reference));
 }
@@ -87,7 +93,7 @@ TEST(ParallelDeterminism, ProbeHeadersAndStatsIdenticalAcrossThreadCounts) {
   std::uint64_t ref_rng_after = 0;
   for (const int threads : {1, 2, 8}) {
     ProbeEngineConfig pc;
-    pc.threads = threads;
+    pc.common.threads = threads;
     ProbeEngine engine(snap, pc);
     util::Rng rng(5);
     const auto probes = engine.make_probes(cover, rng);
@@ -111,7 +117,7 @@ TEST(ParallelDeterminism, ProbeHeadersAndStatsIdenticalAcrossThreadCounts) {
   // Shared pool variant.
   util::ThreadPool pool(8);
   ProbeEngineConfig pc;
-  pc.threads = 8;
+  pc.common.threads = 8;
   ProbeEngine engine(snap, pc, &pool);
   util::Rng rng(5);
   EXPECT_EQ(probe_fingerprints(engine.make_probes(cover, rng)), ref_fp);
@@ -130,6 +136,118 @@ TEST(ParallelDeterminism, SnapshotLegalClosureIsStableUnderConcurrentAccess) {
   for (const auto* p : seen) EXPECT_EQ(p, seen[0]);
   EXPECT_EQ(snap.legal_closure().size(),
             static_cast<std::size_t>(snap.vertex_count()));
+}
+
+// --- End-to-end DetectionReport determinism (ISSUE 4 acceptance) ---------
+
+flow::RuleSet report_sized_ruleset() {
+  topo::GeneratorConfig tc;
+  tc.node_count = 12;
+  tc.link_count = 20;
+  tc.seed = 9;
+  const topo::Graph g = topo::make_rocketfuel_like(tc);
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = 900;
+  sc.seed = 41;
+  return flow::synthesize_ruleset(g, sc);
+}
+
+// Bit-exact fingerprint of everything a DetectionReport records. hexfloat
+// keeps the doubles lossless, so any drift — even one ULP of simulated
+// time — fails the comparison.
+std::string report_fingerprint(const DetectionReport& r) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const auto s : r.flagged_switches) os << s << ",";
+  os << "|" << r.detection_time_s << "|" << r.total_time_s << "|"
+     << r.probes_sent << "|" << r.retries_sent << "|" << r.retry_recoveries
+     << "|" << r.rounds << "\n";
+  for (const auto& rec : r.round_log) {
+    os << rec.round << ":" << rec.start_s << ":" << rec.end_s << ":"
+       << rec.probes << ":" << rec.failures << ":" << rec.retries << ":"
+       << rec.recovered << ":";
+    for (const auto s : rec.newly_flagged) os << s << ",";
+    os << "\n";
+  }
+  return os.str();
+}
+
+struct ReportRunOptions {
+  int threads = 1;
+  bool randomized = false;
+  int confirm_retries = 0;
+  bool adaptive_timeout = false;
+  // When set, installs an explicit (possibly all-zero) channel model.
+  const dataplane::ChannelModelConfig* channel = nullptr;
+};
+
+DetectionReport run_report(const flow::RuleSet& rs,
+                           const ReportRunOptions& opt) {
+  const RuleGraph graph(rs);
+  const AnalysisSnapshot snap(graph);
+  sim::EventLoop loop;
+  dataplane::NetworkConfig nc;
+  if (opt.channel) nc.channel = *opt.channel;
+  dataplane::Network net(rs, loop, nc);
+  controller::Controller ctrl(rs, net);
+  util::Rng rng(17);
+  plan_basic_faults(graph, 2, FaultMix{}, rng, &net.faults());
+  LocalizerConfig lc;
+  lc.common.threads = opt.threads;
+  lc.common.randomized = opt.randomized;
+  lc.max_rounds = 24;
+  // Wall-clock generation charging is real-time noise by design; exact
+  // report equality requires it off.
+  lc.charge_generation_time = false;
+  lc.confirm_retries = opt.confirm_retries;
+  lc.adaptive_timeout = opt.adaptive_timeout;
+  FaultLocalizer loc(snap, ctrl, loop, lc);
+  return loc.run();
+}
+
+TEST(ParallelDeterminism, DetectionReportIdenticalAcrossThreadCounts) {
+  const flow::RuleSet rs = report_sized_ruleset();
+  for (const bool randomized : {false, true}) {
+    ReportRunOptions opt;
+    opt.randomized = randomized;
+    opt.threads = 1;
+    const std::string ref = report_fingerprint(run_report(rs, opt));
+    opt.threads = 4;
+    EXPECT_EQ(report_fingerprint(run_report(rs, opt)), ref)
+        << "threads=4 changed the report (randomized=" << randomized << ")";
+  }
+}
+
+TEST(ParallelDeterminism, ZeroRateChannelModelKeepsReportsBitIdentical) {
+  const flow::RuleSet rs = report_sized_ruleset();
+  ReportRunOptions opt;
+  const std::string ref = report_fingerprint(run_report(rs, opt));
+  // An explicit all-zero channel model (with a nonzero seed) must take the
+  // noiseless fast path: zero RNG draws, so the report stays bit-identical
+  // to a network that predates the channel model.
+  dataplane::ChannelModelConfig cm;
+  cm.seed = 0xDEADBEEFu;
+  opt.channel = &cm;
+  for (const int threads : {1, 4}) {
+    opt.threads = threads;
+    EXPECT_EQ(report_fingerprint(run_report(rs, opt)), ref)
+        << "zero-rate channel model perturbed the report at threads="
+        << threads;
+  }
+}
+
+TEST(ParallelDeterminism, LossToleranceConfigIsThreadInvariant) {
+  // Retries + adaptive timeouts enabled: genuinely faulty paths do trigger
+  // confirmation re-sends, and the grace periods derive from observed RTTs.
+  // Both mechanisms must stay bit-identical across thread counts.
+  const flow::RuleSet rs = report_sized_ruleset();
+  ReportRunOptions opt;
+  opt.confirm_retries = 2;
+  opt.adaptive_timeout = true;
+  opt.threads = 1;
+  const std::string ref = report_fingerprint(run_report(rs, opt));
+  opt.threads = 4;
+  EXPECT_EQ(report_fingerprint(run_report(rs, opt)), ref);
 }
 
 }  // namespace

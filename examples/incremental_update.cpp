@@ -6,6 +6,7 @@
 //
 // Build & run:  cmake --build build && ./build/examples/incremental_update
 #include <cstdio>
+#include <memory>
 
 #include "controller/controller.h"
 #include "core/analysis_snapshot.h"
@@ -105,5 +106,35 @@ int main() {
   }
   std::printf("next full cover: %zu probes, new rule covered: %s\n",
               cover.path_count(), covered ? "yes" : "NO");
-  return verified && covered ? 0 : 1;
+
+  // --- Removal + epoch swap (the monitor::Monitor lifecycle, §12) ---
+  //
+  // Continuous monitoring freezes each churn batch into an immutable epoch:
+  // AnalysisSnapshot::adopt copies the working graph, so analyses holding
+  // the old epoch keep a consistent view while the graph mutates on.
+  const auto epoch1 = std::make_shared<const core::AnalysisSnapshot>(
+      core::AnalysisSnapshot::adopt(graph));
+  const int active_before = epoch1->vertex_count();
+
+  // The operator rolls the route back: remove the specific rule again. The
+  // base rule it partially shadowed regains its full input space without
+  // any rebuild — and keeps its vertex slot, so probe paths stay valid.
+  net.remove_entry(update.switch_id, update.table_id, new_id);
+  rules.remove_entry(new_id);
+  util::WallTimer removal;
+  const auto touched = graph.apply_entry_removed(new_id);
+  std::printf("incremental removal: %.2f ms, %zu vertices touched\n",
+              removal.elapsed_millis(), touched.size());
+
+  const auto epoch2 = std::make_shared<const core::AnalysisSnapshot>(
+      core::AnalysisSnapshot::adopt(graph));
+  const bool base_restored =
+      epoch2->vertex_for(base_id) >= 0 &&
+      epoch2->in_space(epoch2->vertex_for(base_id)) == rules.input_space(base_id);
+  std::printf("epoch 1 still sees %d vertices; epoch 2 sees the removal, "
+              "base rule restored: %s\n",
+              active_before, base_restored ? "yes" : "NO");
+  std::printf("removed rule active in epoch 2: %s\n",
+              epoch2->vertex_for(new_id) >= 0 ? "yes (BUG)" : "no");
+  return verified && covered && base_restored ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "controller/controller.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -7,12 +8,18 @@ namespace sdnprobe::controller {
 namespace {
 // Test entries must beat the terminal copy regardless of policy priorities.
 constexpr int kTestEntryPriority = std::numeric_limits<int>::max() / 2;
+// Test-entry ids live far above the policy range so that policy entries
+// installed *after* controller construction (live churn via
+// monitor::Monitor) can keep growing the RuleSet without ever colliding
+// with an already-allocated test-entry id.
+constexpr flow::EntryId kTestEntryIdBase = 1 << 24;
 }  // namespace
 
 Controller::Controller(const flow::RuleSet& rules, dataplane::Network& net)
     : rules_(&rules),
       net_(&net),
-      next_entry_id_(static_cast<flow::EntryId>(rules.entry_count())) {
+      next_entry_id_(std::max(static_cast<flow::EntryId>(rules.entry_count()),
+                              kTestEntryIdBase)) {
   net_->set_packet_in_handler([this](flow::SwitchId sw,
                                      const dataplane::Packet& p,
                                      sim::SimTime t) {

@@ -33,6 +33,13 @@ AnalysisSnapshot AnalysisSnapshot::build(const flow::RuleSet& rules) {
   return snapshot;
 }
 
+AnalysisSnapshot AnalysisSnapshot::adopt(RuleGraph graph) {
+  auto owned = std::make_shared<const RuleGraph>(std::move(graph));
+  AnalysisSnapshot snapshot(*owned);
+  snapshot.owned_ = std::move(owned);
+  return snapshot;
+}
+
 const std::vector<std::vector<VertexId>>& AnalysisSnapshot::legal_closure(
     std::size_t max_paths_per_vertex) const {
   std::call_once(closure_->once, [this, max_paths_per_vertex] {

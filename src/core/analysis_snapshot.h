@@ -40,6 +40,15 @@ class AnalysisSnapshot {
   // for the snapshot's lifetime. `rules` itself must outlive the snapshot.
   static AnalysisSnapshot build(const flow::RuleSet& rules);
 
+  // Owning adoption of an incrementally maintained graph: copies (or moves)
+  // `graph` into the snapshot, freezing its vertices, spaces, and edges at
+  // this instant — the epoch-swap primitive of monitor::Monitor. The source
+  // graph may keep mutating afterwards; this snapshot never sees it. The
+  // RuleSet the graph was built from must outlive the snapshot and stay
+  // append-only-with-tombstones (EntryIds the frozen graph references must
+  // keep resolving), which flow::RuleSet guarantees.
+  static AnalysisSnapshot adopt(RuleGraph graph);
+
   AnalysisSnapshot(AnalysisSnapshot&&) = default;
   AnalysisSnapshot& operator=(AnalysisSnapshot&&) = default;
   AnalysisSnapshot(const AnalysisSnapshot&) = delete;

@@ -121,6 +121,13 @@ std::vector<Probe> FaultLocalizer::generate_full_cover() const {
   return probes;
 }
 
+void FaultLocalizer::set_cover_probes(std::vector<Probe> probes) {
+  SDNPROBE_CHECK(!config_.common.randomized)
+      << "external cover probes require deterministic mode";
+  fixed_probes_ = std::move(probes);
+  fixed_ready_ = true;
+}
+
 std::size_t FaultLocalizer::initial_probe_count() const {
   if (config_.common.randomized) {
     if (!staged_.has_value()) staged_ = generate_full_cover();

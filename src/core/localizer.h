@@ -168,6 +168,14 @@ class FaultLocalizer {
   // changes what the run sends.
   std::size_t initial_probe_count() const;
 
+  // Supplies the full-cover probe set externally instead of solving MLPC:
+  // the continuous-monitoring path, where monitor::Monitor maintains the
+  // probes across churn epochs (incremental repair) and hands them to a
+  // per-round localizer. Deterministic mode only — the supplied probes
+  // become the fixed cover reused at every full restart. The probes must be
+  // built against the same snapshot this localizer reads.
+  void set_cover_probes(std::vector<Probe> probes);
+
  private:
   struct ActiveProbe {
     Probe probe;

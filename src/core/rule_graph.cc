@@ -97,17 +97,21 @@ bool spaces_intersect(const hsa::HeaderSpace& a, const hsa::HeaderSpace& b) {
 RuleGraph::RuleGraph(const flow::RuleSet& rules) : rules_(&rules) {
   const std::size_t n_entries = rules.entry_count();
   vertex_of_entry_.assign(n_entries, -1);
+  slot_of_entry_.assign(n_entries, -1);
 
-  // Vertices: testable entries only.
+  // Vertices: testable entries only. Removed (tombstoned) entries are not
+  // part of the policy at all — neither vertices nor dead entries.
   for (flow::EntryId id = 0; id < static_cast<flow::EntryId>(n_entries);
        ++id) {
+    if (rules.is_removed(id)) continue;
     hsa::HeaderSpace in = rules.input_space(id);
     if (in.is_empty()) {
       dead_entries_.push_back(id);
       continue;
     }
-    vertex_of_entry_[static_cast<std::size_t>(id)] =
-        static_cast<VertexId>(entry_of_.size());
+    const VertexId v = static_cast<VertexId>(entry_of_.size());
+    vertex_of_entry_[static_cast<std::size_t>(id)] = v;
+    slot_of_entry_[static_cast<std::size_t>(id)] = v;
     entry_of_.push_back(id);
     out_.push_back(in.transform(rules.entry(id).set_field));
     in_.push_back(std::move(in));
@@ -219,13 +223,78 @@ void RuleGraph::connect_vertex(VertexId v) {
   }
 }
 
-VertexId RuleGraph::apply_entry_added(flow::EntryId id) {
+void RuleGraph::grow_entry_maps(flow::EntryId id) {
+  if (vertex_of_entry_.size() <= static_cast<std::size_t>(id)) {
+    vertex_of_entry_.resize(static_cast<std::size_t>(id) + 1, -1);
+    slot_of_entry_.resize(static_cast<std::size_t>(id) + 1, -1);
+  }
+}
+
+VertexId RuleGraph::append_vertex(flow::EntryId id, hsa::HeaderSpace in) {
+  const VertexId v = static_cast<VertexId>(entry_of_.size());
+  entry_of_.push_back(id);
+  vertex_of_entry_[static_cast<std::size_t>(id)] = v;
+  slot_of_entry_[static_cast<std::size_t>(id)] = v;
+  out_.push_back(in.transform(rules_->entry(id).set_field));
+  in_.push_back(std::move(in));
+  adj_.emplace_back();
+  radj_.emplace_back();
+  return v;
+}
+
+void RuleGraph::deactivate_vertex(VertexId v) {
+  const int width = rules_->header_width();
+  in_[static_cast<std::size_t>(v)] = hsa::HeaderSpace(width);
+  out_[static_cast<std::size_t>(v)] = hsa::HeaderSpace(width);
+  vertex_of_entry_[static_cast<std::size_t>(
+      entry_of_[static_cast<std::size_t>(v)])] = -1;
+}
+
+void RuleGraph::refresh_entry(flow::EntryId q,
+                              std::vector<VertexId>* touched) {
+  hsa::HeaderSpace in = rules_->input_space(q);
+  const VertexId vq = vertex_for(q);
+  if (in.is_empty()) {
+    if (vq < 0) return;  // dead before, dead after
+    detach_vertex(vq);
+    deactivate_vertex(vq);
+    dead_entries_.push_back(q);
+    if (touched) touched->push_back(vq);
+    return;
+  }
+  VertexId v = vq;
+  if (v < 0) {
+    // Resurrection: a fully shadowed entry regained input space. Reuse its
+    // old slot when it ever had one, so vertex ids stay stable for
+    // long-lived consumers (probe sets index the graph by VertexId).
+    dead_entries_.erase(
+        std::remove(dead_entries_.begin(), dead_entries_.end(), q),
+        dead_entries_.end());
+    v = slot_of_entry_[static_cast<std::size_t>(q)];
+    if (v >= 0) {
+      vertex_of_entry_[static_cast<std::size_t>(q)] = v;
+      out_[static_cast<std::size_t>(v)] =
+          in.transform(rules_->entry(q).set_field);
+      in_[static_cast<std::size_t>(v)] = std::move(in);
+    } else {
+      v = append_vertex(q, std::move(in));
+    }
+  } else {
+    detach_vertex(v);
+    out_[static_cast<std::size_t>(v)] =
+        in.transform(rules_->entry(q).set_field);
+    in_[static_cast<std::size_t>(v)] = std::move(in);
+  }
+  connect_vertex(v);
+  if (touched) touched->push_back(v);
+}
+
+VertexId RuleGraph::apply_entry_added(flow::EntryId id,
+                                      std::vector<VertexId>* touched) {
   SDNPROBE_CHECK_GE(id, 0);
   SDNPROBE_CHECK_LT(static_cast<std::size_t>(id), rules_->entry_count())
       << "apply_entry_added must follow RuleSet::add_entry on the same set";
-  if (vertex_of_entry_.size() <= static_cast<std::size_t>(id)) {
-    vertex_of_entry_.resize(static_cast<std::size_t>(id) + 1, -1);
-  }
+  grow_entry_maps(id);
   const flow::FlowEntry& e = rules_->entry(id);
 
   // 1. Same-table lower-priority overlapping entries: their input spaces
@@ -233,21 +302,8 @@ VertexId RuleGraph::apply_entry_added(flow::EntryId id) {
   for (const auto& q : rules_->table(e.switch_id, e.table_id).entries()) {
     if (q.id == id || q.priority >= e.priority) continue;
     if (!q.match.intersects(e.match)) continue;
-    const VertexId vq = vertex_for(q.id);
-    if (vq < 0) continue;  // was already dead
-    hsa::HeaderSpace in = rules_->input_space(q.id);
-    detach_vertex(vq);
-    if (in.is_empty()) {
-      // Fully shadowed by the new rule: deactivate in place.
-      in_[static_cast<std::size_t>(vq)] = hsa::HeaderSpace(in.width());
-      out_[static_cast<std::size_t>(vq)] = hsa::HeaderSpace(in.width());
-      vertex_of_entry_[static_cast<std::size_t>(q.id)] = -1;
-      dead_entries_.push_back(q.id);
-      continue;
-    }
-    out_[static_cast<std::size_t>(vq)] = in.transform(q.set_field);
-    in_[static_cast<std::size_t>(vq)] = std::move(in);
-    connect_vertex(vq);
+    if (vertex_for(q.id) < 0) continue;  // already dead; shrinking keeps it so
+    refresh_entry(q.id, touched);
   }
 
   // 2. The new entry itself.
@@ -256,15 +312,51 @@ VertexId RuleGraph::apply_entry_added(flow::EntryId id) {
     dead_entries_.push_back(id);
     return -1;
   }
-  const VertexId v = static_cast<VertexId>(entry_of_.size());
-  entry_of_.push_back(id);
-  vertex_of_entry_[static_cast<std::size_t>(id)] = v;
-  out_.push_back(in.transform(e.set_field));
-  in_.push_back(std::move(in));
-  adj_.emplace_back();
-  radj_.emplace_back();
+  const VertexId v = append_vertex(id, std::move(in));
   connect_vertex(v);
+  if (touched) touched->push_back(v);
   return v;
+}
+
+std::vector<VertexId> RuleGraph::apply_entry_removed(flow::EntryId id) {
+  SDNPROBE_CHECK_GE(id, 0);
+  SDNPROBE_CHECK_LT(static_cast<std::size_t>(id), rules_->entry_count())
+      << "apply_entry_removed must follow RuleSet::remove_entry on the same "
+         "set";
+  SDNPROBE_CHECK(rules_->is_removed(id))
+      << "call RuleSet::remove_entry before apply_entry_removed";
+  grow_entry_maps(id);
+  std::vector<VertexId> touched;
+  // The tombstoned entry keeps its fields; they define the affected region.
+  const flow::FlowEntry& e = rules_->entry(id);
+
+  // 1. The removed entry's own vertex: edges gone, slot retained. A removed
+  //    entry is not a lintable dead rule, so it leaves the dead list too.
+  const VertexId v = vertex_for(id);
+  if (v >= 0) {
+    detach_vertex(v);
+    deactivate_vertex(v);
+    touched.push_back(v);
+  } else {
+    dead_entries_.erase(
+        std::remove(dead_entries_.begin(), dead_entries_.end(), id),
+        dead_entries_.end());
+  }
+
+  // 2. Same-table overlapping entries the removed rule used to beat in
+  //    lookup — strictly lower priority, or equal priority inserted later
+  //    (= larger id; table order among equals is insertion order) — regain
+  //    the space it was shadowing: spaces grow, edges may appear, and
+  //    entries it had fully shadowed come back to life.
+  for (const auto& q : rules_->table(e.switch_id, e.table_id).entries()) {
+    if (q.priority > e.priority ||
+        (q.priority == e.priority && q.id < e.id)) {
+      continue;  // preceded the removed rule: its input space never saw e
+    }
+    if (!q.match.intersects(e.match)) continue;
+    refresh_entry(q.id, &touched);
+  }
+  return touched;
 }
 
 VertexId RuleGraph::vertex_for(flow::EntryId id) const {

@@ -64,7 +64,23 @@ class RuleGraph {
   // incident edges may appear or disappear). Entries fully shadowed by the
   // new rule are deactivated in place. Returns the new entry's vertex, or
   // -1 when the new entry is dead on arrival.
-  VertexId apply_entry_added(flow::EntryId id);
+  //
+  // When `touched` is non-null, every vertex whose input space or edge set
+  // was recomputed (including the new vertex and deactivated vertices) is
+  // appended to it — the affected region consumers like monitor::Monitor use
+  // to decide which probes survive a churn batch.
+  VertexId apply_entry_added(flow::EntryId id,
+                             std::vector<VertexId>* touched = nullptr);
+
+  // Removal counterpart. Call after flow::RuleSet::remove_entry(id) on the
+  // SAME RuleSet. The removed entry's vertex is deactivated in place (slot
+  // retained); same-table lower-priority overlapping entries regain the
+  // header space the removed rule was shadowing, so their spaces and
+  // incident edges are recomputed — entries the removed rule had fully
+  // shadowed come back to life (reusing their old slot when they ever had
+  // one, appending a fresh vertex otherwise). Returns the affected vertices,
+  // same contract as apply_entry_added's `touched`.
+  std::vector<VertexId> apply_entry_removed(flow::EntryId id);
 
   // Cached r.in / r.out header spaces (non-empty by construction).
   const hsa::HeaderSpace& in_space(VertexId v) const {
@@ -120,9 +136,25 @@ class RuleGraph {
   // bounded candidate sets (peer tables and potential predecessors).
   void connect_vertex(VertexId v);
 
+  // Ensures vertex_of_entry_ / slot_of_entry_ cover entry ids up to `id`.
+  void grow_entry_maps(flow::EntryId id);
+  // Appends a fresh vertex slot for `id` with the given input space.
+  VertexId append_vertex(flow::EntryId id, hsa::HeaderSpace in);
+  // Deactivates v in place: empty spaces, no edges, entry marked dead.
+  void deactivate_vertex(VertexId v);
+  // Recomputes q's input space from the current tables and reconciles its
+  // vertex state (activate / deactivate / resurrect / reconnect). Appends
+  // every vertex it touched to `touched`.
+  void refresh_entry(flow::EntryId q, std::vector<VertexId>* touched);
+
   const flow::RuleSet* rules_;
   std::vector<flow::EntryId> entry_of_;
   std::vector<VertexId> vertex_of_entry_;  // -1 = dead / not a vertex
+  // Like vertex_of_entry_, but retained across deactivation: the slot an
+  // entry's vertex occupies (or occupied), -1 if it never had one. Lets
+  // apply_entry_removed resurrect a previously shadowed entry into its old
+  // slot, keeping vertex ids stable for long-lived probe sets.
+  std::vector<VertexId> slot_of_entry_;
   std::vector<flow::EntryId> dead_entries_;
   std::vector<hsa::HeaderSpace> in_;
   std::vector<hsa::HeaderSpace> out_;

@@ -56,18 +56,9 @@ void Network::replace_action(flow::SwitchId sw, flow::TableId table,
                              flow::EntryId id, const flow::Action& action) {
   auto& sw_tables = tables_[static_cast<std::size_t>(sw)];
   if (static_cast<std::size_t>(table) >= sw_tables.size()) return;
-  auto& t = sw_tables[static_cast<std::size_t>(table)];
-  // FlowTable stores entries by value; re-insert with the new action to
-  // preserve ordering invariants.
-  for (const auto& e : t.entries()) {
-    if (e.id == id) {
-      flow::FlowEntry updated = e;
-      updated.action = action;
-      t.erase(id);
-      t.insert(updated);
-      return;
-    }
-  }
+  // In place: a modify-flow must keep the entry's position, or it would
+  // change which entry wins equal-priority overlapping headers.
+  sw_tables[static_cast<std::size_t>(table)].update_action(id, action);
 }
 
 void Network::update_entry(flow::SwitchId sw, flow::TableId table,
@@ -76,17 +67,8 @@ void Network::update_entry(flow::SwitchId sw, flow::TableId table,
                            const flow::Action& action) {
   auto& sw_tables = tables_[static_cast<std::size_t>(sw)];
   if (static_cast<std::size_t>(table) >= sw_tables.size()) return;
-  auto& t = sw_tables[static_cast<std::size_t>(table)];
-  for (const auto& e : t.entries()) {
-    if (e.id == id) {
-      flow::FlowEntry updated = e;
-      updated.set_field = set_field;
-      updated.action = action;
-      t.erase(id);
-      t.insert(updated);
-      return;
-    }
-  }
+  sw_tables[static_cast<std::size_t>(table)].update_actions(id, set_field,
+                                                            action);
 }
 
 void Network::control_transit(double base_delay,
@@ -246,6 +228,11 @@ std::vector<flow::SwitchId> Network::faulty_switches() const {
 
 int Network::table_count(flow::SwitchId sw) const {
   return static_cast<int>(tables_[static_cast<std::size_t>(sw)].size());
+}
+
+const flow::FlowTable& Network::runtime_table(flow::SwitchId sw,
+                                              flow::TableId table) const {
+  return tables_[static_cast<std::size_t>(sw)][static_cast<std::size_t>(table)];
 }
 
 }  // namespace sdnprobe::dataplane

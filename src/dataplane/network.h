@@ -111,6 +111,11 @@ class Network {
   // Number of runtime tables currently on a switch.
   int table_count(flow::SwitchId sw) const;
 
+  // Read-only view of one runtime table (tests / debugging): the live
+  // entry order after installs, removals, and action updates.
+  const flow::FlowTable& runtime_table(flow::SwitchId sw,
+                                       flow::TableId table) const;
+
  private:
   // Runs a packet through switch `sw` starting at `table`.
   void process(flow::SwitchId sw, Packet p, flow::TableId table);

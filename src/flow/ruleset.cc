@@ -54,7 +54,20 @@ EntryId RuleSet::add_entry(FlowEntry e) {
   }
   sw_tables[static_cast<std::size_t>(e.table_id)].insert(e);
   entries_.push_back(std::move(e));
+  removed_.push_back(0);
   return entries_.back().id;
+}
+
+bool RuleSet::remove_entry(EntryId id) {
+  SDNPROBE_CHECK_GE(id, 0);
+  SDNPROBE_CHECK_LT(static_cast<std::size_t>(id), entries_.size());
+  if (removed_[static_cast<std::size_t>(id)]) return false;
+  const FlowEntry& e = entries_[static_cast<std::size_t>(id)];
+  auto& sw_tables = tables_[static_cast<std::size_t>(e.switch_id)];
+  SDNPROBE_CHECK_LT(static_cast<std::size_t>(e.table_id), sw_tables.size());
+  sw_tables[static_cast<std::size_t>(e.table_id)].erase(id);
+  removed_[static_cast<std::size_t>(id)] = 1;
+  return true;
 }
 
 int RuleSet::table_count(SwitchId sw) const {

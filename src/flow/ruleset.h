@@ -4,6 +4,7 @@
 // from which the data-plane simulator is programmed.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -53,6 +54,17 @@ class RuleSet {
   // switch/table/priority/match/set/action fields must be filled in.
   EntryId add_entry(FlowEntry e);
 
+  // Removes a policy entry from its flow table. The entry keeps its id and
+  // its slot in entries() — EntryIds are stable handles across the codebase
+  // — but it stops matching: input_space(id) becomes empty, so a rule-graph
+  // rebuild treats it as dead and RuleGraph::apply_entry_removed deactivates
+  // it in place. Returns false if the id was already removed.
+  bool remove_entry(EntryId id);
+  bool is_removed(EntryId id) const {
+    return static_cast<std::size_t>(id) < removed_.size() &&
+           removed_[static_cast<std::size_t>(id)] != 0;
+  }
+
   std::size_t entry_count() const { return entries_.size(); }
   const FlowEntry& entry(EntryId id) const {
     SDNPROBE_DCHECK_GE(id, 0);
@@ -84,6 +96,7 @@ class RuleSet {
   PortMap ports_;
   int header_width_ = 32;
   std::vector<FlowEntry> entries_;
+  std::vector<std::uint8_t> removed_;  // tombstones, indexed by EntryId
   // tables_[switch][table]
   std::vector<std::vector<FlowTable>> tables_;
 };

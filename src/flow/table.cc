@@ -28,6 +28,28 @@ bool FlowTable::erase(EntryId id) {
   return true;
 }
 
+bool FlowTable::update_actions(EntryId id, const hsa::TernaryString& set_field,
+                               const Action& action) {
+  for (auto& e : entries_) {
+    if (e.id == id) {
+      e.set_field = set_field;
+      e.action = action;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FlowTable::update_action(EntryId id, const Action& action) {
+  for (auto& e : entries_) {
+    if (e.id == id) {
+      e.action = action;
+      return true;
+    }
+  }
+  return false;
+}
+
 const FlowEntry* FlowTable::lookup(const hsa::TernaryString& header) const {
   if (!entries_.empty()) {
     SDNPROBE_DCHECK_EQ(header.width(), entries_.front().match.width());
@@ -57,9 +79,18 @@ hsa::HeaderSpace FlowTable::input_space(EntryId id) const {
     }
   }
   if (!target) return hsa::HeaderSpace();
+  // r.in = match minus every overlap that wins lookup over r (§V-A). The
+  // lookup winner is the first covering entry in table order — strictly
+  // higher priority, or equal priority inserted earlier — so the
+  // subtraction walks the whole table prefix preceding r, not only
+  // overlapping_above(). (OpenFlow leaves same-priority overlap undefined;
+  // the simulated switch resolves it by insertion order, and the analysis
+  // must model the switch it verifies.)
   hsa::HeaderSpace in(target->match);
-  for (const FlowEntry* q : overlapping_above(*target)) {
-    in = in.subtract(q->match);
+  for (const auto& q : entries_) {
+    if (&q == target) break;
+    if (!q.match.intersects(target->match)) continue;
+    in = in.subtract(q.match);
     if (in.is_empty()) break;
   }
   return in;

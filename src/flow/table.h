@@ -20,6 +20,15 @@ class FlowTable {
   // Removes the entry with the given id; returns true if found.
   bool erase(EntryId id);
 
+  // Replaces the action (and set field) of an entry *in place*, preserving
+  // its table position. An OpenFlow modify-flow must not reorder the table:
+  // within an equal-priority group the lookup winner is decided by position,
+  // so erase+insert would silently change which entry wins overlapping
+  // headers. Returns true if the entry was found.
+  bool update_actions(EntryId id, const hsa::TernaryString& set_field,
+                      const Action& action);
+  bool update_action(EntryId id, const Action& action);
+
   // Highest-priority match for a concrete header, or nullptr.
   const FlowEntry* lookup(const hsa::TernaryString& header) const;
 

@@ -164,6 +164,111 @@ TEST(Incremental, NewEdgesAppearForNewEntry) {
   EXPECT_EQ(cover.paths[0].vertices.size(), 2u);
 }
 
+TEST(Incremental, RemovalResurrectsShadowedEntryInOldSlot) {
+  topo::Graph g(2);
+  g.add_edge(0, 1);
+  flow::RuleSet rs(g, 8);
+  flow::FlowEntry low;
+  low.switch_id = 0;
+  low.priority = 10;
+  low.match = ts("0010xxxx");
+  low.action = flow::Action::output(*rs.ports().port_to(0, 1));
+  const flow::EntryId low_id = rs.add_entry(low);
+  RuleGraph graph(rs);
+  const VertexId original_slot = graph.vertex_for(low_id);
+  ASSERT_GE(original_slot, 0);
+  const hsa::HeaderSpace original_in = graph.in_space(original_slot);
+
+  // Shadow it fully, then remove the shadow: `low` must come back to life
+  // in its old slot with its original input space (slot stability is what
+  // keeps monitor::Monitor's long-lived probe paths valid).
+  flow::FlowEntry shadow;
+  shadow.switch_id = 0;
+  shadow.priority = 20;
+  shadow.match = ts("001xxxxx");
+  shadow.action = flow::Action::drop();
+  const flow::EntryId shadow_id = rs.add_entry(shadow);
+  const VertexId vs = graph.apply_entry_added(shadow_id);
+  ASSERT_GE(vs, 0);
+  ASSERT_EQ(graph.vertex_for(low_id), -1);
+
+  ASSERT_TRUE(rs.remove_entry(shadow_id));
+  const std::vector<VertexId> touched = graph.apply_entry_removed(shadow_id);
+  EXPECT_FALSE(graph.is_active(vs));
+  EXPECT_EQ(graph.vertex_for(shadow_id), -1);
+  EXPECT_EQ(graph.vertex_for(low_id), original_slot);
+  EXPECT_TRUE(graph.is_active(original_slot));
+  EXPECT_TRUE(graph.in_space(original_slot) == original_in);
+  EXPECT_TRUE(graph.dead_entries().empty());
+  // Both the removed vertex and the resurrected one are reported.
+  EXPECT_NE(std::find(touched.begin(), touched.end(), vs), touched.end());
+  EXPECT_NE(std::find(touched.begin(), touched.end(), original_slot),
+            touched.end());
+}
+
+TEST(Incremental, RemovingDeadEntryOnlyClearsDeadList) {
+  topo::Graph g(2);
+  g.add_edge(0, 1);
+  flow::RuleSet rs(g, 8);
+  flow::FlowEntry high;
+  high.switch_id = 0;
+  high.priority = 20;
+  high.match = ts("001xxxxx");
+  high.action = flow::Action::output(*rs.ports().port_to(0, 1));
+  const flow::EntryId high_id = rs.add_entry(high);
+  RuleGraph graph(rs);
+  flow::FlowEntry dead;
+  dead.switch_id = 0;
+  dead.priority = 10;
+  dead.match = ts("00101xxx");
+  dead.action = flow::Action::drop();
+  const flow::EntryId dead_id = rs.add_entry(dead);
+  ASSERT_EQ(graph.apply_entry_added(dead_id), -1);
+  ASSERT_EQ(graph.dead_entries().size(), 1u);
+
+  // Removing a never-alive entry touches no vertices: nothing shadowed by
+  // it could grow back.
+  ASSERT_TRUE(rs.remove_entry(dead_id));
+  EXPECT_TRUE(graph.apply_entry_removed(dead_id).empty());
+  EXPECT_TRUE(graph.dead_entries().empty());
+  EXPECT_TRUE(graph.is_active(graph.vertex_for(high_id)));
+}
+
+TEST(Incremental, RemovalMatchesFullRebuild) {
+  topo::GeneratorConfig tc;
+  tc.node_count = 10;
+  tc.link_count = 16;
+  tc.seed = 9;
+  const topo::Graph topo = topo::make_rocketfuel_like(tc);
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = 400;
+  sc.seed = 48;
+  flow::RuleSet rules = flow::synthesize_ruleset(topo, sc);
+  RuleGraph incremental(rules);
+  // Remove a spread of entries (every 7th) incrementally.
+  for (std::size_t i = 0; i < rules.entry_count(); i += 7) {
+    const auto id = static_cast<flow::EntryId>(i);
+    ASSERT_TRUE(rules.remove_entry(id));
+    incremental.apply_entry_removed(id);
+  }
+  // A rebuild over the tombstoned RuleSet sees neither vertices nor dead
+  // entries for the removed ids.
+  const RuleGraph rebuilt(rules);
+  EXPECT_EQ(active_entries(incremental), active_entries(rebuilt));
+  EXPECT_EQ(edge_relation(incremental), edge_relation(rebuilt));
+  EXPECT_EQ(incremental.edge_count(), rebuilt.edge_count());
+  std::set<flow::EntryId> dead_inc(incremental.dead_entries().begin(),
+                                   incremental.dead_entries().end());
+  std::set<flow::EntryId> dead_reb(rebuilt.dead_entries().begin(),
+                                   rebuilt.dead_entries().end());
+  EXPECT_EQ(dead_inc, dead_reb);
+  for (const flow::EntryId id : active_entries(rebuilt)) {
+    EXPECT_TRUE(incremental.in_space(incremental.vertex_for(id)) ==
+                rebuilt.in_space(rebuilt.vertex_for(id)))
+        << "entry " << id;
+  }
+}
+
 TEST(Incremental, DeadOnArrivalReturnsMinusOne) {
   topo::Graph g(2);
   g.add_edge(0, 1);

@@ -17,6 +17,7 @@
 #include "core/scenario.h"
 #include "dataplane/network.h"
 #include "flow/synthesizer.h"
+#include "monitor/monitor.h"
 #include "sim/event_loop.h"
 #include "topo/generator.h"
 #include "util/thread_pool.h"
@@ -215,6 +216,83 @@ TEST(ParallelDeterminism, DetectionReportIdenticalAcrossThreadCounts) {
     opt.threads = 4;
     EXPECT_EQ(report_fingerprint(run_report(rs, opt)), ref)
         << "threads=4 changed the report (randomized=" << randomized << ")";
+  }
+}
+
+// --- Monitor churn-round determinism (ISSUE 5 acceptance) ----------------
+
+// Bit-exact fingerprint of a whole monitor run: every round record, the
+// cumulative report, churn/repair counters, and the live probe set.
+std::string monitor_fingerprint(const monitor::Monitor& mon) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  const monitor::MonitorReport& rep = mon.report();
+  for (const auto s : rep.flagged_switches) os << s << ",";
+  os << "|" << rep.rounds << "|" << rep.probes_sent << "|" << rep.failures
+     << "\n";
+  for (const monitor::MonitorRound& r : rep.round_log) {
+    os << r.index << ":" << r.epoch << ":" << r.start_s << ":" << r.end_s
+       << ":" << r.probes_sent << ":" << r.failures << ":"
+       << r.localizer_rounds << ":";
+    for (const auto s : r.newly_flagged) os << s << ",";
+    os << "\n";
+  }
+  const monitor::ChurnStats& cs = mon.churn_stats();
+  os << cs.batches << "|" << cs.installs << "|" << cs.removals << "|"
+     << cs.probes_kept << "|" << cs.probes_regenerated << "|"
+     << cs.probes_retired << "\n";
+  for (const std::string& fp : probe_fingerprints(mon.probes())) {
+    os << fp << "\n";
+  }
+  return os.str();
+}
+
+// One scripted monitor lifetime: clean round, churn batch (installs and
+// removals), round against the new epoch, a drop fault, localizing round.
+std::string run_monitor_scripted(const flow::RuleSet& pristine, int threads) {
+  flow::RuleSet rules = pristine;
+  flow::SynthesizerConfig spare_sc;
+  spare_sc.target_entry_count = 60;
+  spare_sc.seed = 97;
+  const flow::RuleSet spare =
+      flow::synthesize_ruleset(rules.topology(), spare_sc);
+  sim::EventLoop loop;
+  dataplane::Network net(rules, loop);
+  controller::Controller ctrl(rules, net);
+  monitor::MonitorConfig mc;
+  mc.common.threads = threads;
+  mc.localizer.charge_generation_time = false;
+  monitor::Monitor mon(rules, ctrl, loop, mc);
+
+  mon.run_round();
+  for (std::size_t i = 0; i < 4; ++i) {
+    flow::FlowEntry e = spare.entry(static_cast<flow::EntryId>(i));
+    e.id = -1;
+    mon.enqueue(monitor::ChurnOp::install(std::move(e)));
+  }
+  mon.enqueue(monitor::ChurnOp::remove(7));
+  mon.enqueue(monitor::ChurnOp::remove(23));
+  mon.run_round();
+
+  util::Rng rng(17);
+  const auto snap = mon.snapshot();
+  const auto faulty = choose_faulty_entries(snap->graph(), 1, rng);
+  FaultMix mix;
+  mix.misdirect = false;
+  mix.modify = false;
+  net.faults().add_fault(faulty[0],
+                         make_fault(snap->graph(), faulty[0], mix, rng));
+  mon.run_round();
+  mon.run_round();
+  return monitor_fingerprint(mon);
+}
+
+TEST(ParallelDeterminism, MonitorChurnRoundsIdenticalAcrossThreadCounts) {
+  const flow::RuleSet rs = report_sized_ruleset();
+  const std::string ref = run_monitor_scripted(rs, 1);
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(run_monitor_scripted(rs, threads), ref)
+        << "threads=" << threads << " changed the monitor run";
   }
 }
 

@@ -1,0 +1,164 @@
+// Seeded churn fuzzing for incremental rule-graph maintenance (§VIII-C):
+// drive a RuleGraph through long random interleavings of entry installs
+// and removals and require, after every burst, exact agreement with a
+// from-scratch rebuild over the same tombstoned RuleSet — active entries,
+// the edge relation, the dead-entry set, and per-entry input spaces. This
+// is the invariant monitor::Monitor's epoch model rests on: if incremental
+// maintenance ever drifts from rebuild semantics, kept probes silently
+// test the wrong network.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/rule_graph.h"
+#include "flow/synthesizer.h"
+#include "topo/generator.h"
+#include "util/rng.h"
+
+namespace sdnprobe::core {
+namespace {
+
+std::set<std::pair<flow::EntryId, flow::EntryId>> edge_relation(
+    const RuleGraph& g) {
+  std::set<std::pair<flow::EntryId, flow::EntryId>> edges;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (!g.is_active(v)) continue;
+    for (const VertexId w : g.successors(v)) {
+      edges.emplace(g.entry_of(v), g.entry_of(w));
+    }
+  }
+  return edges;
+}
+
+std::set<flow::EntryId> active_entries(const RuleGraph& g) {
+  std::set<flow::EntryId> ids;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.is_active(v)) ids.insert(g.entry_of(v));
+  }
+  return ids;
+}
+
+void expect_equivalent(const RuleGraph& incremental, const RuleGraph& rebuilt,
+                       std::uint64_t seed, int burst) {
+  ASSERT_EQ(active_entries(incremental), active_entries(rebuilt))
+      << "seed " << seed << " burst " << burst;
+  ASSERT_EQ(edge_relation(incremental), edge_relation(rebuilt))
+      << "seed " << seed << " burst " << burst;
+  ASSERT_EQ(incremental.edge_count(), rebuilt.edge_count())
+      << "seed " << seed << " burst " << burst;
+  const std::set<flow::EntryId> dead_inc(incremental.dead_entries().begin(),
+                                         incremental.dead_entries().end());
+  const std::set<flow::EntryId> dead_reb(rebuilt.dead_entries().begin(),
+                                         rebuilt.dead_entries().end());
+  ASSERT_EQ(dead_inc, dead_reb) << "seed " << seed << " burst " << burst;
+  for (const flow::EntryId id : active_entries(rebuilt)) {
+    ASSERT_TRUE(incremental.in_space(incremental.vertex_for(id)) ==
+                rebuilt.in_space(rebuilt.vertex_for(id)))
+        << "entry " << id << " seed " << seed << " burst " << burst;
+  }
+}
+
+class ChurnFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnFuzz, IncrementalAgreesWithRebuildUnderRandomChurn) {
+  const std::uint64_t seed = GetParam();
+  topo::GeneratorConfig tc;
+  tc.node_count = 8;
+  tc.link_count = 13;
+  tc.seed = seed;
+  const topo::Graph topo = topo::make_rocketfuel_like(tc);
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = 260;
+  sc.seed = seed * 31 + 7;
+  flow::RuleSet rules = flow::synthesize_ruleset(topo, sc);
+  // A reservoir of extra entries to install during churn: synthesized the
+  // same way, re-homed onto fresh ids as they are drawn.
+  flow::SynthesizerConfig rc = sc;
+  rc.target_entry_count = 160;
+  rc.seed = seed * 131 + 71;
+  const flow::RuleSet reservoir = flow::synthesize_ruleset(topo, rc);
+
+  RuleGraph graph(rules);
+  util::Rng rng(util::Rng::derive(seed, 0xC0FFEE));
+  std::vector<flow::EntryId> live;
+  for (std::size_t i = 0; i < rules.entry_count(); ++i) {
+    live.push_back(static_cast<flow::EntryId>(i));
+  }
+  std::size_t next_reservoir = 0;
+
+  constexpr int kBursts = 6;
+  constexpr int kOpsPerBurst = 30;
+  for (int burst = 0; burst < kBursts; ++burst) {
+    for (int op = 0; op < kOpsPerBurst; ++op) {
+      const bool do_install = live.empty() ||
+                              (next_reservoir < reservoir.entry_count() &&
+                               rng.next_bool(0.45));
+      if (do_install) {
+        flow::FlowEntry e = reservoir.entry(
+            static_cast<flow::EntryId>(next_reservoir++));
+        e.id = -1;
+        const flow::EntryId id = rules.add_entry(std::move(e));
+        graph.apply_entry_added(id);
+        live.push_back(id);
+      } else {
+        const std::size_t pick = rng.pick_index(live.size());
+        const flow::EntryId id = live[pick];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        ASSERT_TRUE(rules.remove_entry(id));
+        graph.apply_entry_removed(id);
+      }
+    }
+    const RuleGraph rebuilt(rules);
+    expect_equivalent(graph, rebuilt, seed, burst);
+  }
+}
+
+// Remove-then-reinstall stress: the same match/priority content cycling in
+// and out exercises resurrection (old-slot reuse) against shadow chains.
+TEST_P(ChurnFuzz, RemoveReinstallCycles) {
+  const std::uint64_t seed = GetParam();
+  topo::GeneratorConfig tc;
+  tc.node_count = 6;
+  tc.link_count = 9;
+  tc.seed = seed + 100;
+  const topo::Graph topo = topo::make_rocketfuel_like(tc);
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = 150;
+  sc.seed = seed * 17 + 5;
+  flow::RuleSet rules = flow::synthesize_ruleset(topo, sc);
+  RuleGraph graph(rules);
+  util::Rng rng(util::Rng::derive(seed, 0xC1C7E));
+  std::vector<flow::EntryId> live;
+  for (std::size_t i = 0; i < rules.entry_count(); ++i) {
+    live.push_back(static_cast<flow::EntryId>(i));
+  }
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    // Remove a random batch, remembering the content.
+    std::vector<flow::FlowEntry> removed;
+    for (int i = 0; i < 12 && !live.empty(); ++i) {
+      const std::size_t pick = rng.pick_index(live.size());
+      const flow::EntryId id = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      removed.push_back(rules.entry(id));
+      ASSERT_TRUE(rules.remove_entry(id));
+      graph.apply_entry_removed(id);
+    }
+    // Reinstall the same content under fresh ids.
+    for (flow::FlowEntry& e : removed) {
+      e.id = -1;
+      const flow::EntryId id = rules.add_entry(std::move(e));
+      graph.apply_entry_added(id);
+      live.push_back(id);
+    }
+    const RuleGraph rebuilt(rules);
+    expect_equivalent(graph, rebuilt, seed, cycle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sdnprobe::core

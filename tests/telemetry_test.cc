@@ -13,10 +13,15 @@
 #include <string>
 #include <vector>
 
+#include "controller/controller.h"
+#include "dataplane/network.h"
+#include "flow/synthesizer.h"
+#include "monitor/monitor.h"
 #include "telemetry/artifact.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "topo/generator.h"
 #include "util/thread_pool.h"
 
 namespace sdnprobe::telemetry {
@@ -388,6 +393,47 @@ TEST(PoolObserver, GlobalRegistryCountsPoolTasksWhenEnabled) {
   }
   EXPECT_GE(tasks.value(), before + 10);
   reg.set_enabled(was_enabled);
+}
+
+// --- Monitor health instruments (DESIGN.md §12) ---
+
+TEST(MonitorTelemetry, UptimeGaugesTrackBothClocks) {
+  auto& reg = MetricsRegistry::global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+
+  topo::GeneratorConfig tc;
+  tc.node_count = 8;
+  tc.link_count = 13;
+  tc.seed = 3;
+  const topo::Graph g = topo::make_rocketfuel_like(tc);
+  flow::SynthesizerConfig sc;
+  sc.target_entry_count = 300;
+  sc.seed = 4;
+  flow::RuleSet rules = flow::synthesize_ruleset(g, sc);
+  sim::EventLoop loop;
+  dataplane::Network net(rules, loop);
+  controller::Controller ctrl(rules, net);
+  monitor::Monitor mon(rules, ctrl, loop, {});
+
+  // Advance the simulated clock, then run a round: the live-session gauges
+  // must track both clocks independently (sim uptime from the event loop,
+  // wall uptime from the host stopwatch).
+  loop.schedule_in(2.5, [] {});
+  loop.run();
+  mon.run_round();
+  EXPECT_GE(reg.gauge("monitor.uptime_sim_s").value(), 2.5);
+  EXPECT_GT(reg.gauge("monitor.uptime_wall_s").value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("monitor.epoch").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("monitor.coverage_fraction").value(), 1.0);
+  EXPECT_EQ(reg.counter("monitor.rounds_run").value(), 1u);
+  // The same numbers surface in status() for the JSON artifact path.
+  const monitor::MonitorStatus st = mon.status();
+  EXPECT_GE(st.uptime_sim_s, reg.gauge("monitor.uptime_sim_s").value());
+  EXPECT_GE(st.uptime_wall_s, reg.gauge("monitor.uptime_wall_s").value());
+
+  reg.set_enabled(was_enabled);
+  reg.reset();
 }
 
 }  // namespace

@@ -125,4 +125,8 @@ void Controller::send_packet(flow::SwitchId sw, dataplane::Packet p) {
   net_->packet_out(sw, std::move(p));
 }
 
+void Controller::send_packets(std::vector<dataplane::BatchPacketOut> batch) {
+  net_->packet_out_batch(std::move(batch));
+}
+
 }  // namespace sdnprobe::controller

@@ -51,6 +51,11 @@ class Controller {
   // Injects a packet at a switch (PacketOut through the pipeline).
   void send_packet(flow::SwitchId sw, dataplane::Packet p);
 
+  // Batched PacketOut of a whole probe round: each item fires at its
+  // send_at timestamp. See dataplane::Network::packet_out_batch for the
+  // equivalence guarantees versus per-packet send_packet calls.
+  void send_packets(std::vector<dataplane::BatchPacketOut> batch);
+
   // Called for every probe PacketIn: (probe id, switch it returned from,
   // packet, simulated arrival time).
   using ProbeReturnHandler = std::function<void(

@@ -9,7 +9,8 @@ std::vector<std::vector<VertexId>> build_fanin_order(const RuleGraph& g) {
   const int V = g.vertex_count();
   std::vector<std::vector<VertexId>> ordered(static_cast<std::size_t>(V));
   for (VertexId v = 0; v < V; ++v) {
-    std::vector<VertexId> succ = g.successors(v);
+    const auto span = g.successors(v);
+    std::vector<VertexId> succ(span.begin(), span.end());
     std::stable_sort(succ.begin(), succ.end(), [&g](VertexId a, VertexId b) {
       return g.predecessors(a).size() < g.predecessors(b).size();
     });

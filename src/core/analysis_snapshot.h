@@ -70,10 +70,10 @@ class AnalysisSnapshot {
   const hsa::HeaderSpace& out_space(VertexId v) const {
     return graph_->out_space(v);
   }
-  const std::vector<VertexId>& successors(VertexId v) const {
+  std::span<const VertexId> successors(VertexId v) const {
     return graph_->successors(v);
   }
-  const std::vector<VertexId>& predecessors(VertexId v) const {
+  std::span<const VertexId> predecessors(VertexId v) const {
     return graph_->predecessors(v);
   }
   hsa::HeaderSpace propagate(const hsa::HeaderSpace& incoming,

@@ -46,7 +46,8 @@ class PathWalker {
     if (hs.is_empty()) return true;  // not actually extendable this way
     path_.push_back(v);
     bool extended = false;
-    std::vector<VertexId> succ = g_.successors(v);
+    const auto sspan = g_.successors(v);
+    std::vector<VertexId> succ(sspan.begin(), sspan.end());
     if (rng_) rng_->shuffle(succ);
     for (const VertexId w : succ) {
       // Legal continuation check is done inside the recursive call.

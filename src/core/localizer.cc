@@ -239,19 +239,25 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
 
     const double spacing = static_cast<double>(config_.probe_size_bytes) /
                            config_.probe_rate_bytes_per_s;
+    // The whole round streams through one batched PacketOut: each probe
+    // keeps its own paced send time, but the dataplane handles a round in
+    // a handful of events instead of one schedule per probe.
+    std::vector<dataplane::BatchPacketOut> sends;
+    sends.reserve(active.size());
     double t = loop_->now();
     for (ActiveProbe& ap : active) {
       dataplane::Packet pk;
       pk.header = ap.probe.header;
       pk.probe_id = ap.probe.probe_id;
       pk.size_bytes = config_.probe_size_bytes;
-      const flow::SwitchId sw = ap.probe.inject_switch;
       by_id[ap.probe.probe_id].sent_s = t;
-      loop_->schedule_at(t, [this, sw, pk]() { ctrl_->send_packet(sw, pk); });
+      sends.push_back(
+          dataplane::BatchPacketOut{ap.probe.inject_switch, std::move(pk), t});
       t += spacing;
       ++report.probes_sent;
       LocalizerInstruments::get().probes_sent.add();
     }
+    ctrl_->send_packets(std::move(sends));
     loop_->run_until(t + effective_grace());
 
     // --- Confirmation retries (loss tolerance, DESIGN.md §11). ---
@@ -276,6 +282,8 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
       if (missing.empty()) break;
       double wait = 0.0;
       double rt = loop_->now();
+      std::vector<dataplane::BatchPacketOut> retries;
+      retries.reserve(missing.size());
       for (const std::size_t i : missing) {
         ActiveProbe& ap = active[i];
         ap.was_retried = true;
@@ -285,14 +293,15 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
         pk.header = ap.probe.header;
         pk.probe_id = retry_id;
         pk.size_bytes = config_.probe_size_bytes;
-        const flow::SwitchId sw = ap.probe.inject_switch;
-        loop_->schedule_at(rt, [this, sw, pk]() { ctrl_->send_packet(sw, pk); });
+        retries.push_back(dataplane::BatchPacketOut{ap.probe.inject_switch,
+                                                    std::move(pk), rt});
         rt += spacing;
         ++rec.retries;
         ++report.retries_sent;
         LocalizerInstruments::get().retries_sent.add();
         wait = std::max(wait, probe_timeout(ap.probe));
       }
+      ctrl_->send_packets(std::move(retries));
       loop_->run_until(rt + wait);
     }
     ctrl_->set_probe_return_handler(nullptr);

@@ -83,7 +83,8 @@ class StitchSearch {
     // round, which is what renders terminal positions unpredictable.
     if (!rng_->next_bool(accept_probability_)) return std::nullopt;
     while (budget_ > 0) {
-      std::vector<VertexId> succ = g_.successors(at);
+      const auto sspan = g_.successors(at);
+      std::vector<VertexId> succ(sspan.begin(), sspan.end());
       rng_->shuffle(succ);
       VertexId advance_to = -1;
       hsa::HeaderSpace advance_space;

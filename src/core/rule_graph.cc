@@ -168,16 +168,13 @@ RuleGraph::RuleGraph(const flow::RuleSet& rules) : rules_(&rules) {
 }
 
 void RuleGraph::detach_vertex(VertexId v) {
-  auto erase_from = [](std::vector<VertexId>& list, VertexId x) {
-    list.erase(std::remove(list.begin(), list.end(), x), list.end());
-  };
   auto& out_edges = adj_[static_cast<std::size_t>(v)];
   auto& in_edges = radj_[static_cast<std::size_t>(v)];
   for (const VertexId w : out_edges) {
-    erase_from(radj_[static_cast<std::size_t>(w)], v);
+    radj_[static_cast<std::size_t>(w)].erase_value(v);
   }
   for (const VertexId w : in_edges) {
-    erase_from(adj_[static_cast<std::size_t>(w)], v);
+    adj_[static_cast<std::size_t>(w)].erase_value(v);
   }
   edge_count_ -= out_edges.size() + in_edges.size();
   out_edges.clear();

@@ -16,16 +16,23 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "flow/ruleset.h"
 #include "hsa/header_space.h"
 #include "util/check.h"
+#include "util/small_vector.h"
 
 namespace sdnprobe::core {
 
 // Vertex index into RuleGraph; vertex v corresponds to entry_of(v).
 using VertexId = int;
+
+// Adjacency storage: inline up to 4 edges per vertex, so the common short
+// lists live contiguously inside the graph's vertex arrays (pool-style)
+// instead of one heap block per vertex.
+using AdjList = util::SmallVec<VertexId, 4>;
 
 class RuleGraph {
  public:
@@ -93,11 +100,11 @@ class RuleGraph {
   }
 
   // Step-1 successor / predecessor vertices.
-  const std::vector<VertexId>& successors(VertexId v) const {
-    return adj_[static_cast<std::size_t>(v)];
+  std::span<const VertexId> successors(VertexId v) const {
+    return adj_[static_cast<std::size_t>(v)].span();
   }
-  const std::vector<VertexId>& predecessors(VertexId v) const {
-    return radj_[static_cast<std::size_t>(v)];
+  std::span<const VertexId> predecessors(VertexId v) const {
+    return radj_[static_cast<std::size_t>(v)].span();
   }
   std::size_t edge_count() const { return edge_count_; }
 
@@ -158,8 +165,8 @@ class RuleGraph {
   std::vector<flow::EntryId> dead_entries_;
   std::vector<hsa::HeaderSpace> in_;
   std::vector<hsa::HeaderSpace> out_;
-  std::vector<std::vector<VertexId>> adj_;
-  std::vector<std::vector<VertexId>> radj_;
+  std::vector<AdjList> adj_;
+  std::vector<AdjList> radj_;
   std::size_t edge_count_ = 0;
 };
 

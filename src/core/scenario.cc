@@ -184,7 +184,8 @@ bool make_detour_fault(const RuleGraph& graph, flow::EntryId entry,
       hsa::HeaderSpace::full(graph.rules().header_width()), v);
   std::vector<VertexId> downstream;
   for (int hop = 0; hop < 16; ++hop) {
-    std::vector<VertexId> succ = graph.successors(walk.back());
+    const auto sspan = graph.successors(walk.back());
+    std::vector<VertexId> succ(sspan.begin(), sspan.end());
     rng.shuffle(succ);
     bool advanced = false;
     for (const VertexId w : succ) {

@@ -20,6 +20,12 @@ Network::Network(const flow::RuleSet& rules, sim::EventLoop& loop,
   tm_.dropped = &reg.counter("dataplane.packets_dropped");
   tm_.faults_applied = &reg.counter("dataplane.faults_applied");
   tm_.host_deliveries = &reg.counter("dataplane.host_deliveries");
+  tm_.batch_packets = &reg.histogram(
+      "dataplane.batch.packets", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                  1024, 4096, 16384});
+  tm_.batch_packet_ins = &reg.histogram(
+      "dataplane.batch.packet_ins", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                     1024, 4096, 16384});
   for (flow::SwitchId s = 0; s < rules.switch_count(); ++s) {
     const int n_tables = rules.table_count(s);
     auto& sw_tables = tables_[static_cast<std::size_t>(s)];
@@ -95,6 +101,93 @@ void Network::packet_out(flow::SwitchId sw, Packet p) {
   tm_.packet_outs->add();
   control_transit(config_.control_latency_s,
                   [this, sw, p = std::move(p)] { arrive(sw, p); });
+}
+
+void Network::packet_out_batch(std::vector<BatchPacketOut> items) {
+  if (items.empty()) return;
+  tm_.batch_packets->record(static_cast<double>(items.size()));
+  if (!channel_.noiseless()) {
+    // Per-packet fallback: every control-channel draw must happen at the
+    // packet's own send time so the noise RNG stream is identical to a
+    // sequence of packet_out calls at those times.
+    for (auto& it : items) {
+      loop_->schedule_at(it.send_at, [this, sw = it.sw,
+                                      p = std::move(it.packet)] {
+        packet_out(sw, p);
+      });
+    }
+    return;
+  }
+  // Noiseless: no draws anywhere on the injection path, so each run of
+  // equal-send_at items can share one arrival dispatch. Per-packet
+  // scheduling would fire the same callbacks at the same times in the same
+  // (seq) order; collapsing the run changes only the number of heap events.
+  std::size_t i = 0;
+  while (i < items.size()) {
+    std::size_t j = i;
+    std::vector<std::pair<flow::SwitchId, Packet>> run;
+    while (j < items.size() && items[j].send_at == items[i].send_at) {
+      SDNPROBE_CHECK_GE(items[j].sw, 0);
+      SDNPROBE_CHECK_LT(items[j].sw, static_cast<int>(tables_.size()));
+      SDNPROBE_DCHECK_EQ(items[j].packet.header.width(),
+                         rules_->header_width());
+      ++counters_.packets_injected;
+      tm_.packet_outs->add();
+      run.emplace_back(items[j].sw, std::move(items[j].packet));
+      ++j;
+    }
+    loop_->schedule_at(items[i].send_at + config_.control_latency_s,
+                       [this, run = std::move(run)]() mutable {
+                         arrive_batch(std::move(run));
+                       });
+    i = j;
+  }
+}
+
+void Network::arrive_batch(std::vector<std::pair<flow::SwitchId, Packet>> batch) {
+  // Same per-packet admission as arrive(), then one shared pipeline event
+  // for the survivors in place of one process event per packet.
+  std::vector<std::pair<flow::SwitchId, Packet>> alive;
+  alive.reserve(batch.size());
+  for (auto& [sw, p] : batch) {
+    if (static_cast<int>(p.trace.size()) >= config_.max_hops) {
+      ++counters_.hop_limit_drops;
+      LOG_DEBUG << "packet exceeded hop limit at switch " << sw;
+      continue;
+    }
+    p.trace.push_back(sw);
+    alive.emplace_back(sw, std::move(p));
+  }
+  if (alive.empty()) return;
+  loop_->schedule_in(config_.switch_proc_delay_s,
+                     [this, alive = std::move(alive)]() mutable {
+                       process_batch(std::move(alive));
+                     });
+}
+
+void Network::process_batch(
+    std::vector<std::pair<flow::SwitchId, Packet>> batch) {
+  pin_batching_ = true;
+  for (auto& [sw, p] : batch) process(sw, std::move(p), 0);
+  pin_batching_ = false;
+  flush_packet_ins();
+}
+
+void Network::flush_packet_ins() {
+  if (pin_buffer_.empty()) return;
+  tm_.batch_packet_ins->record(static_cast<double>(pin_buffer_.size()));
+  auto batch = std::move(pin_buffer_);
+  pin_buffer_.clear();
+  // One control-channel event delivers the whole run; the handler sees each
+  // packet at the same simulated time, in the same order, as it would from
+  // one control_transit event per PacketIn. (Buffering happens only on the
+  // noiseless path, where control_transit is a plain schedule_in.)
+  loop_->schedule_in(config_.control_latency_s,
+                     [this, batch = std::move(batch)] {
+                       for (const auto& [sw, p] : batch) {
+                         packet_in_handler_(sw, p, loop_->now());
+                       }
+                     });
 }
 
 void Network::arrive(flow::SwitchId sw, Packet p) {
@@ -177,10 +270,14 @@ void Network::process(flow::SwitchId sw, Packet p, flow::TableId table) {
       ++counters_.packet_ins;
       tm_.packet_ins->add();
       if (packet_in_handler_) {
-        control_transit(config_.control_latency_s,
-                        [this, sw, p = std::move(p)] {
-                          packet_in_handler_(sw, p, loop_->now());
-                        });
+        if (pin_batching_) {
+          pin_buffer_.emplace_back(sw, std::move(p));
+        } else {
+          control_transit(config_.control_latency_s,
+                          [this, sw, p = std::move(p)] {
+                            packet_in_handler_(sw, p, loop_->now());
+                          });
+        }
       }
       return;
   }

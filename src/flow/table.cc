@@ -2,9 +2,42 @@
 
 #include <algorithm>
 
+#include "hsa/cube_arena.h"
+#include "telemetry/metrics.h"
 #include "util/check.h"
 
 namespace sdnprobe::flow {
+namespace {
+
+struct TableInstruments {
+  telemetry::Histogram& input_space_cubes;
+  telemetry::Histogram& arena_occupancy;
+  static TableInstruments& get() {
+    static auto& reg = telemetry::MetricsRegistry::global();
+    static TableInstruments i{
+        reg.histogram("flow.input_space.cubes",
+                      {1, 2, 4, 8, 16, 32, 64, 128, 256}),
+        reg.histogram("hsa.arena.occupancy",
+                      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+    };
+    return i;
+  }
+};
+
+// Per-thread double-buffered scratch for the equal-priority prefix
+// subtraction chain. Reused across every input_space call on the thread
+// (graph construction, churn refresh), so steady state allocates nothing.
+struct SubtractScratch {
+  hsa::CubeArena cur;
+  hsa::CubeArena next;
+};
+
+SubtractScratch& scratch() {
+  thread_local SubtractScratch s;
+  return s;
+}
+
+}  // namespace
 
 void FlowTable::insert(const FlowEntry& e) {
   SDNPROBE_DCHECK_GT(e.match.width(), 0) << "entry has no match field";
@@ -86,14 +119,32 @@ hsa::HeaderSpace FlowTable::input_space(EntryId id) const {
   // overlapping_above(). (OpenFlow leaves same-priority overlap undefined;
   // the simulated switch resolves it by insertion order, and the analysis
   // must model the switch it verifies.)
-  hsa::HeaderSpace in(target->match);
+  // The chain runs in per-thread arena scratch (hsa/cube_arena.h): each step
+  // is subtract_into with add_cube-style dedup followed by the same
+  // subsumption pass HeaderSpace::subtract(cube) applies, so the final cube
+  // list is identical to the scalar fold it replaces — input_space feeds
+  // volume-weighted probe-header sampling, which depends on the exact list.
+  SubtractScratch& s = scratch();
+  hsa::CubeArena* cur = &s.cur;
+  hsa::CubeArena* nxt = &s.next;
+  const int w = target->match.width();
+  cur->reset(w);
+  cur->push(target->match);
+  std::size_t peak = 1;
   for (const auto& q : entries_) {
     if (&q == target) break;
     if (!q.match.intersects(target->match)) continue;
-    in = in.subtract(q.match);
-    if (in.is_empty()) break;
+    nxt->reset(w);
+    hsa::subtract_into(*cur, 0, cur->size(), q.match, *nxt, /*dedup=*/true);
+    hsa::simplify_cubes(*nxt, 0, /*assume_deduped=*/true);
+    std::swap(cur, nxt);
+    if (cur->size() > peak) peak = cur->size();
+    if (cur->empty()) break;
   }
-  return in;
+  auto& tm = TableInstruments::get();
+  tm.arena_occupancy.record(static_cast<double>(peak));
+  tm.input_space_cubes.record(static_cast<double>(cur->size()));
+  return hsa::HeaderSpace::from_arena(*cur);
 }
 
 }  // namespace sdnprobe::flow

@@ -4,7 +4,27 @@
 #include <cassert>
 #include <cmath>
 
+#include "hsa/cube_arena.h"
+
 namespace sdnprobe::hsa {
+namespace {
+
+// Per-thread scratch arenas for the cube algebra. Every public operation
+// fully consumes the scratch before returning, and the arena kernels never
+// call back into HeaderSpace, so reuse across calls (and across the
+// double-buffered chains below) is safe. Capacity is retained between calls:
+// steady-state churn recomputation allocates nothing.
+struct Scratch {
+  CubeArena a;
+  CubeArena b;
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
+}  // namespace
 
 HeaderSpace::HeaderSpace(TernaryString cube) : width_(cube.width()) {
   cubes_.push_back(std::move(cube));
@@ -12,6 +32,17 @@ HeaderSpace::HeaderSpace(TernaryString cube) : width_(cube.width()) {
 
 HeaderSpace HeaderSpace::full(int width) {
   return HeaderSpace(TernaryString::wildcard(width));
+}
+
+HeaderSpace HeaderSpace::from_arena(const CubeArena& arena) {
+  HeaderSpace r(arena.width());
+  arena.append_to(r.cubes_);
+  return r;
+}
+
+void HeaderSpace::assign_from(const CubeArena& arena) {
+  cubes_.clear();
+  arena.append_to(cubes_);
 }
 
 bool HeaderSpace::contains(const TernaryString& h) const {
@@ -22,18 +53,20 @@ bool HeaderSpace::contains(const TernaryString& h) const {
 }
 
 bool HeaderSpace::covers_cube(const TernaryString& c) const {
-  // c ⊆ this  <=>  c − this == ∅.
-  std::vector<TernaryString> remainder{c};
+  // c ⊆ this  <=>  c − this == ∅. Double-buffered arena chain; no dedup, to
+  // keep the piece lists exactly those of the scalar remainder algorithm.
+  Scratch& s = scratch();
+  CubeArena* cur = &s.a;
+  CubeArena* nxt = &s.b;
+  cur->reset(c.width());
+  cur->push(c);
   for (const auto& mine : cubes_) {
-    std::vector<TernaryString> next;
-    for (const auto& r : remainder) {
-      auto pieces = cube_difference(r, mine);
-      next.insert(next.end(), pieces.begin(), pieces.end());
-    }
-    remainder = std::move(next);
-    if (remainder.empty()) return true;
+    nxt->reset(c.width());
+    subtract_into(*cur, 0, cur->size(), mine, *nxt, /*dedup=*/false);
+    std::swap(cur, nxt);
+    if (cur->empty()) return true;
   }
-  return remainder.empty();
+  return cur->empty();
 }
 
 void HeaderSpace::add_cube(const TernaryString& c) {
@@ -53,22 +86,34 @@ HeaderSpace HeaderSpace::union_with(const HeaderSpace& o) const {
 }
 
 HeaderSpace HeaderSpace::intersect(const HeaderSpace& o) const {
-  HeaderSpace r(width_ ? width_ : o.width_);
+  const int w = width_ ? width_ : o.width_;
+  Scratch& s = scratch();
+  CubeArena& rhs = s.a;
+  CubeArena& dst = s.b;
+  rhs.reset(w);
+  for (const auto& b : o.cubes_) rhs.push(b);
+  dst.reset(w);
   for (const auto& a : cubes_) {
-    for (const auto& b : o.cubes_) {
-      if (auto c = a.intersect(b)) r.add_cube(*c);
-    }
+    intersect_all(rhs, 0, rhs.size(), a, dst, /*dedup=*/true);
   }
-  r.simplify();
+  simplify_cubes(dst, 0, /*assume_deduped=*/true);
+  HeaderSpace r(w);
+  r.assign_from(dst);
   return r;
 }
 
 HeaderSpace HeaderSpace::intersect(const TernaryString& cube) const {
-  HeaderSpace r(width_ ? width_ : cube.width());
-  for (const auto& a : cubes_) {
-    if (auto c = a.intersect(cube)) r.add_cube(*c);
-  }
-  r.simplify();
+  const int w = width_ ? width_ : cube.width();
+  Scratch& s = scratch();
+  CubeArena& lhs = s.a;
+  CubeArena& dst = s.b;
+  lhs.reset(w);
+  for (const auto& a : cubes_) lhs.push(a);
+  dst.reset(w);
+  intersect_all(lhs, 0, lhs.size(), cube, dst, /*dedup=*/true);
+  simplify_cubes(dst, 0, /*assume_deduped=*/true);
+  HeaderSpace r(w);
+  r.assign_from(dst);
   return r;
 }
 
@@ -93,20 +138,43 @@ std::vector<TernaryString> cube_difference(const TernaryString& a,
 }
 
 HeaderSpace HeaderSpace::subtract(const TernaryString& cube) const {
-  HeaderSpace r(width_);
+  Scratch& s = scratch();
+  CubeArena& dst = s.a;
+  dst.reset(width_);
   for (const auto& a : cubes_) {
-    for (const auto& piece : cube_difference(a, cube)) r.add_cube(piece);
+    subtract_cube_into(a, cube, dst, /*dedup=*/true);
   }
-  r.simplify();
+  simplify_cubes(dst, 0, /*assume_deduped=*/true);
+  HeaderSpace r(width_);
+  r.assign_from(dst);
   return r;
 }
 
 HeaderSpace HeaderSpace::subtract(const HeaderSpace& o) const {
-  HeaderSpace r = *this;
+  if (cubes_.empty() || o.cubes_.empty()) return *this;
+  // Fold of single-cube subtractions over double-buffered arena scratch.
+  // Each step applies add_cube-style dedup; a full simplify() pass runs
+  // whenever the working list crosses kSimplifyThreshold (and once at the
+  // end), bounding cube-count blow-up on long chains.
+  Scratch& s = scratch();
+  CubeArena* cur = &s.a;
+  CubeArena* nxt = &s.b;
+  cur->reset(width_);
+  for (const auto& c : cubes_) cur->push(c);
   for (const auto& b : o.cubes_) {
-    r = r.subtract(b);
-    if (r.is_empty()) break;
+    nxt->reset(width_);
+    subtract_into(*cur, 0, cur->size(), b, *nxt, /*dedup=*/true);
+    std::swap(cur, nxt);
+    if (cur->empty()) break;
+    if (cur->size() > kSimplifyThreshold) {
+      simplify_cubes(*cur, 0, /*assume_deduped=*/true);
+    }
   }
+  // Still dedup-clean here: simplify keeps a subsequence, which preserves
+  // the no-earlier-covers-later property.
+  simplify_cubes(*cur, 0, /*assume_deduped=*/true);
+  HeaderSpace r(width_);
+  r.assign_from(*cur);
   return r;
 }
 

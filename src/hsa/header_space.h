@@ -6,8 +6,14 @@
 //   O_{i+1} = T(O_i ∩ r.in, r.s)          (legal-path propagation, Def. 1)
 //   HS(ℓ) sampling for probe headers       (§V-B step 3, §V-C)
 //
-// Difference can grow the cube count; callers that chain many subtractions
-// should rely on simplify(), which removes subsumed cubes.
+// Difference can grow the cube count; subtract() runs simplify() subsumption
+// cleanup automatically whenever the working cube list crosses
+// kSimplifyThreshold, so chained subtractions stay bounded.
+//
+// Internally the cube algebra runs over per-thread hsa::CubeArena scratch
+// (SoA word arrays, see hsa/cube_arena.h) instead of temporary
+// std::vector<TernaryString>s; the public cube-list API is unchanged and the
+// produced cube lists are identical to the scalar algorithms.
 #pragma once
 
 #include <optional>
@@ -19,8 +25,15 @@
 
 namespace sdnprobe::hsa {
 
+class CubeArena;
+
 class HeaderSpace {
  public:
+  // Cube count past which subtract() interleaves simplify() passes while
+  // folding a multi-cube subtrahend (guards against cube blow-up on long
+  // subtraction chains).
+  static constexpr std::size_t kSimplifyThreshold = 24;
+
   // The empty set (width recorded for sanity checks; 0 = unspecified).
   explicit HeaderSpace(int width = 0) : width_(width) {}
 
@@ -79,8 +92,14 @@ class HeaderSpace {
 
   bool operator==(const HeaderSpace& o) const;
 
+  // Materializes the arena's cubes verbatim (no dedup/simplify — the caller
+  // guarantees the list is already subsumption-clean). Hot-path bridge for
+  // FlowTable::input_space, which composes its result in arena scratch.
+  static HeaderSpace from_arena(const CubeArena& arena);
+
  private:
   void add_cube(const TernaryString& c);
+  void assign_from(const CubeArena& arena);
 
   int width_;
   std::vector<TernaryString> cubes_;

@@ -168,6 +168,18 @@ TernaryString TernaryString::sample(util::Rng& rng) const {
   return r;
 }
 
+TernaryString TernaryString::from_words(int width, std::uint64_t b0,
+                                        std::uint64_t b1, std::uint64_t m0,
+                                        std::uint64_t m1) {
+  TernaryString t(width);
+  assert((b0 & ~m0) == 0 && (b1 & ~m1) == 0);
+  t.bits_[0] = b0;
+  t.bits_[1] = b1;
+  t.mask_[0] = m0;
+  t.mask_[1] = m1;
+  return t;
+}
+
 std::uint64_t TernaryString::as_uint() const {
   std::uint64_t v = 0;
   const int n = width_ < 64 ? width_ : 64;

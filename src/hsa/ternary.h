@@ -93,6 +93,21 @@ class TernaryString {
   // unsigned integer; wildcard bits read as 0. Mainly for diagnostics.
   std::uint64_t as_uint() const;
 
+  // Raw word access for the SoA cube-arena kernels (hsa/cube_arena.h).
+  // Word w holds header bits [64w, 64w+63], bit k at position (k & 63).
+  std::uint64_t bits_word(int w) const {
+    return bits_[static_cast<std::size_t>(w)];
+  }
+  std::uint64_t mask_word(int w) const {
+    return mask_[static_cast<std::size_t>(w)];
+  }
+
+  // Rebuilds a string from raw words. The caller guarantees the class
+  // invariants: bits ⊆ mask, and no word bit at or beyond `width`.
+  static TernaryString from_words(int width, std::uint64_t b0,
+                                  std::uint64_t b1, std::uint64_t m0,
+                                  std::uint64_t m1);
+
   std::string to_string() const;
 
   bool operator==(const TernaryString& o) const {

@@ -1,0 +1,122 @@
+// SmallVec: an inline-storage vector for small trivially-copyable payloads.
+//
+// RuleGraph adjacency lists are the motivating user: fan-out per vertex is
+// almost always a handful of edges, but std::vector<VertexId> puts every
+// list in its own heap block — pointer-chasing and allocator traffic on the
+// graph-construction and churn hot paths. SmallVec keeps the first N
+// elements inside the object (so a vector<SmallVec> stores short adjacency
+// lists contiguously, pool-style) and spills to a single heap block beyond
+// that. Deliberately minimal: the element type must be trivially copyable,
+// and only the operations the graph code needs are provided.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+namespace sdnprobe::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for POD-ish payloads only");
+  static_assert(N > 0);
+
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec& o) { assign(o.data(), o.size_); }
+  SmallVec(SmallVec&& o) noexcept { steal(o); }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      size_ = 0;
+      assign(o.data(), o.size_);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+  ~SmallVec() { release(); }
+
+  T* data() { return heap_ ? heap_ : inline_; }
+  const T* data() const { return heap_ ? heap_ : inline_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  void push_back(T v) {
+    if (size_ == cap_) grow(size_ + 1);
+    data()[size_++] = v;
+  }
+
+  // Removes every element equal to v, preserving the order of the rest.
+  void erase_value(T v) {
+    T* d = data();
+    std::uint32_t out = 0;
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      if (!(d[i] == v)) d[out++] = d[i];
+    }
+    size_ = out;
+  }
+
+  std::span<const T> span() const { return {data(), size_}; }
+
+ private:
+  void grow(std::size_t need) {
+    std::size_t cap = static_cast<std::size_t>(cap_) * 2;
+    if (cap < need) cap = need;
+    T* h = new T[cap];
+    std::memcpy(h, data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = h;
+    cap_ = static_cast<std::uint32_t>(cap);
+  }
+
+  void assign(const T* src, std::uint32_t n) {
+    if (n > cap_) grow(n);
+    std::memcpy(data(), src, n * sizeof(T));
+    size_ = n;
+  }
+
+  void steal(SmallVec& o) {
+    if (o.heap_) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.cap_ = static_cast<std::uint32_t>(N);
+      o.size_ = 0;
+    } else {
+      std::memcpy(inline_, o.inline_, o.size_ * sizeof(T));
+      size_ = o.size_;
+      o.size_ = 0;
+    }
+  }
+
+  void release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = static_cast<std::uint32_t>(N);
+    size_ = 0;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = static_cast<std::uint32_t>(N);
+};
+
+}  // namespace sdnprobe::util

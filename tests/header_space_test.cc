@@ -141,5 +141,47 @@ TEST_P(SubtractProperty, PartitionIdentity) {
 INSTANTIATE_TEST_SUITE_P(RandomCubes, SubtractProperty,
                          ::testing::Range(0, 24));
 
+// Regression for cube blow-up on chained subtractions: subtracting a union
+// of many loosely-constrained cubes used to let the intermediate working
+// list grow multiplicatively, with subsumption cleanup only at the end.
+// subtract(HeaderSpace) now interleaves simplify passes whenever the fold
+// crosses kSimplifyThreshold, so the result stays bounded — and must still
+// denote exactly full − ∪holes.
+TEST(HeaderSpace, ChainedSubtractionStaysBoundedAndExact) {
+  util::Rng rng(11);
+  const int w = 16;
+  std::vector<TernaryString> holes;
+  HeaderSpace sub(w);
+  for (int i = 0; i < 40; ++i) {
+    // 2–5 fixed bits each: wide cubes whose differences overlap heavily.
+    TernaryString c = TernaryString::wildcard(w);
+    const int fixed = 2 + static_cast<int>(rng.next_below(4));
+    for (int f = 0; f < fixed; ++f) {
+      c.set(static_cast<int>(rng.next_below(w)),
+            rng.next_bool(0.5) ? Trit::kOne : Trit::kZero);
+    }
+    holes.push_back(c);
+    sub = sub.union_with(HeaderSpace(c));
+  }
+  const HeaderSpace result = HeaderSpace::full(w).subtract(sub);
+  EXPECT_LE(result.cube_count(), 256u);
+
+  // Membership oracle: h ∈ result iff no hole covers h.
+  for (int i = 0; i < 512; ++i) {
+    TernaryString h = TernaryString::wildcard(w);
+    for (int k = 0; k < w; ++k) {
+      h.set(k, rng.next_bool(0.5) ? Trit::kOne : Trit::kZero);
+    }
+    bool in_hole = false;
+    for (const auto& c : holes) in_hole |= c.covers(h);
+    EXPECT_EQ(result.contains(h), !in_hole) << h.to_string();
+  }
+
+  // Same set as the fully-simplified per-cube fold.
+  HeaderSpace fold = HeaderSpace::full(w);
+  for (const auto& c : holes) fold = fold.subtract(c);
+  EXPECT_TRUE(result == fold);
+}
+
 }  // namespace
 }  // namespace sdnprobe::hsa

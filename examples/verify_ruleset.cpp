@@ -1,0 +1,285 @@
+// verify_ruleset: run analysis::Verifier over (a) a clean hand-built
+// dataplane that must satisfy its declared invariants, and (b) a family of
+// deliberately broken dataplanes seeding every violation class the verifier
+// knows (forwarding loop, table-miss blackhole, linkless-port blackhole,
+// forbidden delivery, unreachable pair, waypoint bypass, invalid
+// invariant). Also exercises the line-oriented invariant spec format.
+//
+//   ./verify_ruleset [--scenario=clean|violations|spec|all]
+//   ./verify_ruleset --spec=<file> [--ruleset=synth|campus]
+//
+// In scenario mode (the ctest acceptance entry runs `all`), exit status 0
+// iff the clean dataplane verifies clean AND every seeded violation class is
+// detected AND spec parsing round-trips. In --spec mode, the invariant file
+// is parsed and verified over the chosen ruleset; exit status 0 iff no
+// invariant is violated — the operator-facing CI gate.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/linter.h"
+#include "analysis/verifier.h"
+#include "flow/campus.h"
+#include "flow/synthesizer.h"
+#include "telemetry/metrics.h"
+#include "topo/generator.h"
+
+using namespace sdnprobe;
+
+namespace {
+
+hsa::TernaryString ts(const char* s) { return *hsa::TernaryString::parse(s); }
+
+void print_report(const std::string& name, const analysis::VerifyReport& r) {
+  std::cout << "=== " << name << ": " << r.size() << " diagnostic(s) ("
+            << r.count(analysis::Severity::kError) << " error), "
+            << r.stats().classes_total << " equivalence class(es), "
+            << r.stats().steps << " step(s)\n";
+  if (!r.empty()) std::cout << r.to_string();
+}
+
+// A small dataplane builder for the scenarios below; width-8 headers.
+struct Net {
+  explicit Net(topo::Graph g) : rules(std::move(g), 8) {}
+
+  flow::EntryId add(flow::SwitchId sw, flow::TableId table, int priority,
+                    hsa::TernaryString match, flow::Action action,
+                    hsa::TernaryString set_field = hsa::TernaryString()) {
+    flow::FlowEntry e;
+    e.switch_id = sw;
+    e.table_id = table;
+    e.priority = priority;
+    e.match = std::move(match);
+    e.set_field = std::move(set_field);
+    e.action = action;
+    return rules.add_entry(std::move(e));
+  }
+
+  flow::PortId port(flow::SwitchId a, flow::SwitchId b) const {
+    return *rules.ports().port_to(a, b);
+  }
+  flow::PortId host(flow::SwitchId sw) const {
+    return rules.ports().host_port(sw);
+  }
+
+  flow::RuleSet rules;
+};
+
+// 0 → 1 → 2, forwarding 0xxxxxxx into host(2); everything else dropped at
+// the ingress so no header space is ever silently lost.
+Net make_clean_chain() {
+  topo::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Net net(std::move(g));
+  net.add(0, 0, 10, ts("0xxxxxxx"), flow::Action::output(net.port(0, 1)));
+  net.add(0, 0, 5, ts("xxxxxxxx"), flow::Action::drop());
+  net.add(1, 0, 10, ts("0xxxxxxx"), flow::Action::output(net.port(1, 2)));
+  net.add(2, 0, 10, ts("0xxxxxxx"), flow::Action::output(net.host(2)));
+  return net;
+}
+
+bool run_clean() {
+  const Net net = make_clean_chain();
+  analysis::InvariantSet invs = analysis::InvariantSet::builtin();
+  invs.add(analysis::Invariant::reach(0, 2));
+  invs.add(analysis::Invariant::waypoint(0, 1, 2));
+  invs.add(analysis::Invariant::no_reach(0, 2, ts("1xxxxxxx")));
+  analysis::Verifier verifier(invs);
+  const analysis::VerifyReport report =
+      verifier.verify(core::AnalysisSnapshot::build(net.rules));
+  print_report("clean", report);
+  if (report.has_errors()) {
+    std::cout << "clean: FAIL (unexpected invariant violations)\n";
+    return false;
+  }
+  std::cout << "clean: OK (all invariants hold)\n";
+  return true;
+}
+
+// Verifies `net` against `invs` and requires at least one diagnostic of
+// `expected`; prints the evidence either way.
+bool expect_violation(const std::string& name, const Net& net,
+                      const analysis::InvariantSet& invs,
+                      analysis::CheckId expected) {
+  analysis::Verifier verifier(invs);
+  const analysis::VerifyReport report =
+      verifier.verify(core::AnalysisSnapshot::build(net.rules));
+  print_report(name, report);
+  if (report.count(expected) == 0) {
+    std::cout << name << ": MISSED seeded violation class "
+              << analysis::check_name(expected) << "\n";
+    return false;
+  }
+  std::cout << name << ": OK (detected " << analysis::check_name(expected)
+            << ")\n";
+  return true;
+}
+
+bool run_violations() {
+  bool ok = true;
+
+  {  // Forwarding loop: two switches bounce 0xxxxxxx forever.
+    topo::Graph g(2);
+    g.add_edge(0, 1);
+    Net net(std::move(g));
+    net.add(0, 0, 10, ts("0xxxxxxx"), flow::Action::output(net.port(0, 1)));
+    net.add(1, 0, 10, ts("0xxxxxxx"), flow::Action::output(net.port(1, 0)));
+    ok &= expect_violation("loop", net, analysis::InvariantSet::builtin(),
+                           analysis::CheckId::kForwardingLoop);
+  }
+  {  // Table-miss blackhole: sw1 only absorbs half of what sw0 emits.
+    topo::Graph g(2);
+    g.add_edge(0, 1);
+    Net net(std::move(g));
+    net.add(0, 0, 10, ts("0xxxxxxx"), flow::Action::output(net.port(0, 1)));
+    net.add(1, 0, 10, ts("00xxxxxx"), flow::Action::output(net.host(1)));
+    ok &= expect_violation("table-miss", net,
+                           analysis::InvariantSet::builtin(),
+                           analysis::CheckId::kBlackhole);
+  }
+  {  // Linkless output port: everything the entry emits is lost.
+    topo::Graph g(2);
+    g.add_edge(0, 1);
+    Net net(std::move(g));
+    net.add(0, 0, 10, ts("0xxxxxxx"), flow::Action::output(flow::PortId{6}));
+    net.add(1, 0, 10, ts("0xxxxxxx"), flow::Action::output(net.host(1)));
+    ok &= expect_violation("linkless-port", net,
+                           analysis::InvariantSet::builtin(),
+                           analysis::CheckId::kBlackhole);
+  }
+  {  // Forbidden delivery + unreachable pair on the working chain.
+    const Net net = make_clean_chain();
+    analysis::InvariantSet invs;
+    invs.add(analysis::Invariant::no_reach(0, 2));
+    ok &= expect_violation("forbidden-path", net, invs,
+                           analysis::CheckId::kForbiddenPath);
+    analysis::InvariantSet reverse;
+    reverse.add(analysis::Invariant::reach(2, 0));
+    ok &= expect_violation("unreachable-pair", net, reverse,
+                           analysis::CheckId::kUnreachablePair);
+  }
+  {  // Waypoint bypass: the 00xxxxxx branch of a diamond skips switch 2.
+    topo::Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    Net net(std::move(g));
+    net.add(0, 0, 10, ts("00xxxxxx"), flow::Action::output(net.port(0, 1)));
+    net.add(0, 0, 10, ts("01xxxxxx"), flow::Action::output(net.port(0, 2)));
+    net.add(1, 0, 10, ts("0xxxxxxx"), flow::Action::output(net.port(1, 3)));
+    net.add(2, 0, 10, ts("0xxxxxxx"), flow::Action::output(net.port(2, 3)));
+    net.add(3, 0, 10, ts("0xxxxxxx"), flow::Action::output(net.host(3)));
+    analysis::InvariantSet invs;
+    invs.add(analysis::Invariant::waypoint(0, 2, 3));
+    ok &= expect_violation("waypoint-bypass", net, invs,
+                           analysis::CheckId::kWaypointBypass);
+  }
+  {  // Invalid invariant: references a switch outside the topology.
+    const Net net = make_clean_chain();
+    analysis::InvariantSet invs;
+    invs.add(analysis::Invariant::reach(0, 42));
+    ok &= expect_violation("invalid-invariant", net, invs,
+                           analysis::CheckId::kInvalidInvariant);
+  }
+  std::cout << "violations: "
+            << (ok ? "OK (all seeded classes detected)" : "FAIL") << "\n";
+  return ok;
+}
+
+bool run_spec_roundtrip() {
+  const char* spec =
+      "# default contract plus reachability policy\n"
+      "loop-free\n"
+      "blackhole-free\n"
+      "reach 0 2\n"
+      "no-reach 0 2 1xxxxxxx\n"
+      "waypoint 0 1 2\n";
+  std::string error;
+  const auto parsed = analysis::InvariantSet::parse(spec, &error);
+  if (!parsed.has_value()) {
+    std::cout << "spec: FAIL (rejected a valid spec: " << error << ")\n";
+    return false;
+  }
+  const auto reparsed = analysis::InvariantSet::parse(parsed->to_string());
+  if (!reparsed.has_value() ||
+      reparsed->to_string() != parsed->to_string()) {
+    std::cout << "spec: FAIL (to_string does not round-trip)\n";
+    return false;
+  }
+  if (analysis::InvariantSet::parse("reach zero one", &error).has_value()) {
+    std::cout << "spec: FAIL (accepted a malformed line)\n";
+    return false;
+  }
+  std::cout << "spec: OK (" << parsed->size()
+            << " invariants parsed; malformed input rejected with \"" << error
+            << "\")\n";
+  return true;
+}
+
+// --spec mode: parse an invariant file and verify it over a ruleset.
+int run_spec_file(const std::string& path, const std::string& which) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open spec file: " << path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  const auto invs = analysis::InvariantSet::parse(text.str(), &error);
+  if (!invs.has_value()) {
+    std::cerr << path << ": " << error << "\n";
+    return 2;
+  }
+
+  flow::RuleSet rules = [&which] {
+    if (which == "campus") return flow::make_campus_ruleset({});
+    topo::GeneratorConfig tc;
+    tc.node_count = 16;
+    tc.link_count = 28;
+    const topo::Graph g = topo::make_rocketfuel_like(tc);
+    flow::SynthesizerConfig sc;
+    sc.target_entry_count = 2000;
+    return flow::synthesize_ruleset(g, sc);
+  }();
+
+  analysis::Verifier verifier(*invs);
+  const analysis::VerifyReport report =
+      verifier.verify(core::AnalysisSnapshot::build(rules));
+  print_report(which + " × " + path, report);
+  std::cout << (report.has_errors() ? "VIOLATED" : "SATISFIED") << "\n";
+  return report.has_errors() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = "all";
+  std::string spec_path;
+  std::string which = "synth";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scenario=", 11) == 0) scenario = argv[i] + 11;
+    if (std::strncmp(argv[i], "--spec=", 7) == 0) spec_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--ruleset=", 10) == 0) which = argv[i] + 10;
+  }
+  if (!spec_path.empty()) return run_spec_file(spec_path, which);
+
+  bool ok = true;
+  if (scenario == "clean" || scenario == "all") ok = run_clean() && ok;
+  if (scenario == "violations" || scenario == "all") {
+    ok = run_violations() && ok;
+  }
+  if (scenario == "spec" || scenario == "all") {
+    ok = run_spec_roundtrip() && ok;
+  }
+
+  const auto& reg = telemetry::MetricsRegistry::global();
+  if (reg.enabled()) {
+    std::cout << "\n--- telemetry (SDNPROBE_METRICS) ---\n" << reg.to_text();
+  }
+  return ok ? 0 : 1;
+}

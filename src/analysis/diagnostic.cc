@@ -1,6 +1,8 @@
 #include "analysis/diagnostic.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace sdnprobe::analysis {
 
@@ -30,6 +32,22 @@ const char* check_name(CheckId id) {
       return "empty-vertex-space";
     case CheckId::kUnsatEdge:
       return "unsat-edge";
+    case CheckId::kAmbiguousPriority:
+      return "ambiguous-priority";
+    case CheckId::kUnreachablePair:
+      return "unreachable-pair";
+    case CheckId::kForbiddenPath:
+      return "forbidden-path";
+    case CheckId::kForwardingLoop:
+      return "forwarding-loop";
+    case CheckId::kBlackhole:
+      return "blackhole";
+    case CheckId::kWaypointBypass:
+      return "waypoint-bypass";
+    case CheckId::kInvalidInvariant:
+      return "invalid-invariant";
+    case CheckId::kVerifyTruncated:
+      return "verify-truncated";
   }
   return "unknown-check";
 }
@@ -62,7 +80,7 @@ std::string Diagnostic::to_string() const {
   return os.str();
 }
 
-std::size_t LintReport::count(Severity s) const {
+std::size_t DiagnosticReport::count(Severity s) const {
   std::size_t n = 0;
   for (const auto& d : diagnostics_) {
     if (d.severity == s) ++n;
@@ -70,7 +88,7 @@ std::size_t LintReport::count(Severity s) const {
   return n;
 }
 
-std::size_t LintReport::count(CheckId c) const {
+std::size_t DiagnosticReport::count(CheckId c) const {
   std::size_t n = 0;
   for (const auto& d : diagnostics_) {
     if (d.check == c) ++n;
@@ -78,7 +96,7 @@ std::size_t LintReport::count(CheckId c) const {
   return n;
 }
 
-std::vector<const Diagnostic*> LintReport::by_check(CheckId c) const {
+std::vector<const Diagnostic*> DiagnosticReport::by_check(CheckId c) const {
   std::vector<const Diagnostic*> out;
   for (const auto& d : diagnostics_) {
     if (d.check == c) out.push_back(&d);
@@ -86,7 +104,32 @@ std::vector<const Diagnostic*> LintReport::by_check(CheckId c) const {
   return out;
 }
 
-std::string LintReport::to_string() const {
+namespace {
+
+auto sort_key(const Diagnostic& d) {
+  return std::make_tuple(static_cast<int>(d.check), d.location.switch_id,
+                         d.location.table_id, d.location.entry_id);
+}
+
+}  // namespace
+
+void DiagnosticReport::sort() {
+  std::stable_sort(
+      diagnostics_.begin(), diagnostics_.end(),
+      [](const Diagnostic& a, const Diagnostic& b) {
+        return sort_key(a) < sort_key(b);
+      });
+}
+
+bool DiagnosticReport::is_sorted() const {
+  return std::is_sorted(
+      diagnostics_.begin(), diagnostics_.end(),
+      [](const Diagnostic& a, const Diagnostic& b) {
+        return sort_key(a) < sort_key(b);
+      });
+}
+
+std::string DiagnosticReport::to_string() const {
   std::string out;
   for (const auto& d : diagnostics_) {
     out += d.to_string();

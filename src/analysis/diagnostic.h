@@ -1,10 +1,14 @@
-// Structured diagnostics emitted by the static analyses (analysis::Linter).
+// Structured diagnostics emitted by the static analyses (analysis::Linter,
+// analysis::Verifier).
 //
 // A Diagnostic is one finding: a severity, a stable machine-readable check
 // id, the network location it points at (switch / table / entry, -1 where
 // not applicable), a human message, and a key=value payload carrying the
-// check-specific evidence (covering entry ids, cycle members, ...). A
-// LintReport is the ordered collection of findings from one linter run.
+// check-specific evidence (covering entry ids, cycle members, counterexample
+// header spaces, ...). DiagnosticReport is the shared collection type;
+// LintReport (linter) and VerifyReport (verifier.h) are its concrete runs.
+// Reports are sorted by (check id, switch, table, entry id) before emission
+// so a report is bit-identical however the producing analysis was scheduled.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +38,15 @@ enum class CheckId {
   kEmptyVertexSpace,     // active vertex with empty in/out header space
   kUnsatEdge,            // edge whose transfer function the SAT encoder
                          // cannot satisfy (HSA/SAT cross-check)
+  kAmbiguousPriority,    // two same-priority overlapping entries in a table
+  // --- analysis::Verifier invariant checks (verifier.h). ---
+  kUnreachablePair,      // declared can-reach pair with no witnessing class
+  kForbiddenPath,        // declared cannot-reach pair has a forwarding path
+  kForwardingLoop,       // a header space revisits a rule-graph vertex
+  kBlackhole,            // non-drop header space with no egress continuation
+  kWaypointBypass,       // src→dst path that skips the declared waypoint
+  kInvalidInvariant,     // invariant references unknown switches / bad slice
+  kVerifyTruncated,      // per-class traversal budget exhausted
 };
 
 const char* check_name(CheckId id);
@@ -59,7 +72,12 @@ struct Diagnostic {
   std::string to_string() const;
 };
 
-class LintReport {
+// Shared collection of findings from one analysis run. Producers call
+// sort() once everything is added; it orders diagnostics by (check id,
+// switch, table, entry id) with a stable sort, so ties keep their emission
+// order and a finished report is a pure function of the analyzed model —
+// bit-identical across thread counts and full-vs-incremental runs.
+class DiagnosticReport {
  public:
   void add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
 
@@ -71,8 +89,12 @@ class LintReport {
   std::size_t count(CheckId c) const;
   bool has_errors() const { return count(Severity::kError) > 0; }
 
-  // All findings of one check, in emission order.
+  // All findings of one check, in report order.
   std::vector<const Diagnostic*> by_check(CheckId c) const;
+
+  // Deterministic emission order; see class comment.
+  void sort();
+  bool is_sorted() const;
 
   // One line per diagnostic; empty string for an empty report.
   std::string to_string() const;
@@ -80,5 +102,8 @@ class LintReport {
  private:
   std::vector<Diagnostic> diagnostics_;
 };
+
+// Findings of one analysis::Linter run.
+class LintReport : public DiagnosticReport {};
 
 }  // namespace sdnprobe::analysis

@@ -1,0 +1,222 @@
+#include "analysis/invariant.h"
+
+#include <charconv>
+#include <sstream>
+#include <utility>
+
+namespace sdnprobe::analysis {
+namespace {
+
+const char* kind_name(InvariantKind k) {
+  switch (k) {
+    case InvariantKind::kReach:
+      return "reach";
+    case InvariantKind::kNoReach:
+      return "no-reach";
+    case InvariantKind::kWaypoint:
+      return "waypoint";
+    case InvariantKind::kLoopFree:
+      return "loop-free";
+    case InvariantKind::kBlackholeFree:
+      return "blackhole-free";
+  }
+  return "unknown";
+}
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+bool parse_switch(std::string_view tok, flow::SwitchId& out) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size() || value < 0) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+Invariant Invariant::reach(flow::SwitchId src, flow::SwitchId dst,
+                           std::optional<hsa::TernaryString> slice) {
+  Invariant inv;
+  inv.kind = InvariantKind::kReach;
+  inv.src = src;
+  inv.dst = dst;
+  inv.slice = std::move(slice);
+  return inv;
+}
+
+Invariant Invariant::no_reach(flow::SwitchId src, flow::SwitchId dst,
+                              std::optional<hsa::TernaryString> slice) {
+  Invariant inv;
+  inv.kind = InvariantKind::kNoReach;
+  inv.src = src;
+  inv.dst = dst;
+  inv.slice = std::move(slice);
+  return inv;
+}
+
+Invariant Invariant::waypoint(flow::SwitchId src, flow::SwitchId via,
+                              flow::SwitchId dst,
+                              std::optional<hsa::TernaryString> slice) {
+  Invariant inv;
+  inv.kind = InvariantKind::kWaypoint;
+  inv.src = src;
+  inv.via = via;
+  inv.dst = dst;
+  inv.slice = std::move(slice);
+  return inv;
+}
+
+Invariant Invariant::loop_free() {
+  Invariant inv;
+  inv.kind = InvariantKind::kLoopFree;
+  return inv;
+}
+
+Invariant Invariant::blackhole_free() {
+  Invariant inv;
+  inv.kind = InvariantKind::kBlackholeFree;
+  return inv;
+}
+
+std::string Invariant::to_string() const {
+  std::ostringstream os;
+  os << kind_name(kind);
+  switch (kind) {
+    case InvariantKind::kReach:
+    case InvariantKind::kNoReach:
+      os << ' ' << src << ' ' << dst;
+      break;
+    case InvariantKind::kWaypoint:
+      os << ' ' << src << ' ' << via << ' ' << dst;
+      break;
+    case InvariantKind::kLoopFree:
+    case InvariantKind::kBlackholeFree:
+      break;
+  }
+  if (slice.has_value()) os << ' ' << slice->to_string();
+  return os.str();
+}
+
+InvariantSet InvariantSet::builtin() {
+  return InvariantSet({Invariant::loop_free(), Invariant::blackhole_free()});
+}
+
+std::optional<InvariantSet> InvariantSet::parse(std::string_view text,
+                                               std::string* error) {
+  const auto fail = [error](std::size_t line_no, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return std::nullopt;
+  };
+
+  InvariantSet set;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<std::string_view> tok = split_tokens(line);
+    if (tok.empty()) continue;
+
+    const std::string_view verb = tok.front();
+    // Positional switch args after the verb; an optional trailing ternary
+    // slice (contains 0/1/x, never a pure integer the switch parser takes).
+    std::size_t n_switches = 0;
+    InvariantKind kind;
+    if (verb == "reach") {
+      kind = InvariantKind::kReach;
+      n_switches = 2;
+    } else if (verb == "no-reach") {
+      kind = InvariantKind::kNoReach;
+      n_switches = 2;
+    } else if (verb == "waypoint") {
+      kind = InvariantKind::kWaypoint;
+      n_switches = 3;
+    } else if (verb == "loop-free") {
+      kind = InvariantKind::kLoopFree;
+    } else if (verb == "blackhole-free") {
+      kind = InvariantKind::kBlackholeFree;
+    } else {
+      return fail(line_no, "unknown invariant '" + std::string(verb) + "'");
+    }
+    if (tok.size() < 1 + n_switches || tok.size() > 2 + n_switches) {
+      return fail(line_no, std::string(verb) + " takes " +
+                               std::to_string(n_switches) +
+                               " switch id(s) and an optional slice");
+    }
+    flow::SwitchId ids[3] = {-1, -1, -1};
+    for (std::size_t i = 0; i < n_switches; ++i) {
+      if (!parse_switch(tok[1 + i], ids[i])) {
+        return fail(line_no,
+                    "bad switch id '" + std::string(tok[1 + i]) + "'");
+      }
+    }
+    std::optional<hsa::TernaryString> slice;
+    if (tok.size() == 2 + n_switches) {
+      slice = hsa::TernaryString::parse(tok.back());
+      if (!slice.has_value()) {
+        return fail(line_no,
+                    "bad slice cube '" + std::string(tok.back()) + "'");
+      }
+    }
+    switch (kind) {
+      case InvariantKind::kReach:
+        set.add(Invariant::reach(ids[0], ids[1], std::move(slice)));
+        break;
+      case InvariantKind::kNoReach:
+        set.add(Invariant::no_reach(ids[0], ids[1], std::move(slice)));
+        break;
+      case InvariantKind::kWaypoint:
+        set.add(
+            Invariant::waypoint(ids[0], ids[1], ids[2], std::move(slice)));
+        break;
+      case InvariantKind::kLoopFree:
+        if (slice.has_value()) {
+          return fail(line_no, "loop-free takes no slice");
+        }
+        set.add(Invariant::loop_free());
+        break;
+      case InvariantKind::kBlackholeFree:
+        if (slice.has_value()) {
+          return fail(line_no, "blackhole-free takes no slice");
+        }
+        set.add(Invariant::blackhole_free());
+        break;
+    }
+  }
+  return set;
+}
+
+std::string InvariantSet::to_string() const {
+  std::string out;
+  for (const Invariant& inv : invariants_) {
+    out += inv.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sdnprobe::analysis

@@ -1,0 +1,93 @@
+// User-declared network-wide invariants checked by analysis::Verifier.
+//
+// An Invariant names a property of the dataplane's end-to-end forwarding
+// behavior, optionally restricted to a header-space *slice* (a ternary cube;
+// wildcard = "all traffic"):
+//
+//   reach <src> <dst> [slice]         some injectable header entering at
+//                                     switch `src` is forwarded to `dst`
+//   no-reach <src> <dst> [slice]      no header in the slice entering at
+//                                     `src` can ever arrive at `dst`
+//   waypoint <src> <via> <dst> [slice] every sliced src→dst forwarding path
+//                                     traverses switch `via`
+//   loop-free                         no header space revisits a rule-graph
+//                                     vertex (per-class cycle detection)
+//   blackhole-free                    every non-dropped header space reaches
+//                                     an egress (host port, controller, or a
+//                                     matching next table) — no silent loss
+//
+// InvariantSet is the declaration list handed to the Verifier; parse()
+// reads the line-oriented spec format above (`#` comments, blank lines
+// ignored), which is what examples/verify_ruleset loads from disk.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/entry.h"
+#include "hsa/ternary.h"
+
+namespace sdnprobe::analysis {
+
+enum class InvariantKind {
+  kReach,          // src, dst, slice
+  kNoReach,        // src, dst, slice
+  kWaypoint,       // src, via, dst, slice
+  kLoopFree,       // global
+  kBlackholeFree,  // global
+};
+
+struct Invariant {
+  InvariantKind kind = InvariantKind::kLoopFree;
+  flow::SwitchId src = -1;
+  flow::SwitchId dst = -1;
+  flow::SwitchId via = -1;
+  // Restricting cube; disengaged = the full header space. Stored as a cube
+  // (not a HeaderSpace) so an InvariantSet is cheap to copy into configs.
+  std::optional<hsa::TernaryString> slice;
+
+  static Invariant reach(flow::SwitchId src, flow::SwitchId dst,
+                         std::optional<hsa::TernaryString> slice = {});
+  static Invariant no_reach(flow::SwitchId src, flow::SwitchId dst,
+                            std::optional<hsa::TernaryString> slice = {});
+  static Invariant waypoint(flow::SwitchId src, flow::SwitchId via,
+                            flow::SwitchId dst,
+                            std::optional<hsa::TernaryString> slice = {});
+  static Invariant loop_free();
+  static Invariant blackhole_free();
+
+  // Spec-format spelling, e.g. "waypoint 0 2 5 1xxx…" — parse() round-trips.
+  std::string to_string() const;
+};
+
+class InvariantSet {
+ public:
+  InvariantSet() = default;
+  explicit InvariantSet(std::vector<Invariant> invariants)
+      : invariants_(std::move(invariants)) {}
+
+  // The default contract every dataplane should satisfy.
+  static InvariantSet builtin();
+
+  // Parses the line-oriented spec format (one invariant per line, `#`
+  // comments and blank lines ignored). Returns nullopt on malformed input,
+  // with a "line N: why" explanation in *error when non-null.
+  static std::optional<InvariantSet> parse(std::string_view text,
+                                          std::string* error = nullptr);
+
+  void add(Invariant inv) { invariants_.push_back(std::move(inv)); }
+
+  const std::vector<Invariant>& invariants() const { return invariants_; }
+  std::size_t size() const { return invariants_.size(); }
+  bool empty() const { return invariants_.empty(); }
+
+  // One spec line per invariant (parseable by parse()).
+  std::string to_string() const;
+
+ private:
+  std::vector<Invariant> invariants_;
+};
+
+}  // namespace sdnprobe::analysis

@@ -128,6 +128,42 @@ void check_empty_match(const RuleSet& rules, const FlowEntry& e,
   report.add(std::move(d));
 }
 
+// Same-priority overlapping entries in one table: the tie-aware semantics
+// (earlier-installed entry wins) make them deterministic, but the outcome
+// depends on install order — almost always a configuration bug. One warning
+// per later entry, naming the earlier entries it ties with.
+void check_ambiguous_priority(const RuleSet& rules, LintReport& report) {
+  for (SwitchId sw = 0; sw < rules.switch_count(); ++sw) {
+    for (TableId t = 0; t < rules.table_count(sw); ++t) {
+      const auto& entries = rules.table(sw, t).entries();
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const FlowEntry& e = entries[i];
+        std::vector<int> ties;
+        // entries() is descending by priority with ties in insertion
+        // order, so the same-priority group is contiguous ending at i.
+        for (std::size_t j = i; j-- > 0;) {
+          if (entries[j].priority != e.priority) break;
+          if (entries[j].match.intersects(e.match)) {
+            ties.push_back(entries[j].id);
+          }
+        }
+        if (ties.empty()) continue;
+        std::sort(ties.begin(), ties.end());
+        Diagnostic d;
+        d.severity = Severity::kWarning;
+        d.check = CheckId::kAmbiguousPriority;
+        d.location = entry_location(e);
+        d.message = "overlaps " + std::to_string(ties.size()) +
+                    " earlier entr" + (ties.size() == 1 ? "y" : "ies") +
+                    " at the same priority; which entry matches is decided "
+                    "by install order";
+        d.payload.emplace_back("ties-with", join_ids(ties));
+        report.add(std::move(d));
+      }
+    }
+  }
+}
+
 void check_dangling_actions(const RuleSet& rules, const FlowEntry& e,
                             LintReport& report) {
   if (e.action.type == flow::ActionType::kOutput &&
@@ -296,7 +332,7 @@ void check_topology(const RuleSet& rules, LintReport& report) {
 // is empty; `out_space` yields r.out for live entries. Both are backed by
 // the rule graph's caches in the snapshot run and computed directly in the
 // ruleset run.
-void lint_structural(const RuleSet& rules,
+void lint_structural(const RuleSet& rules, const LintConfig& config,
                      const std::function<bool(EntryId)>& dead,
                      const std::function<hsa::HeaderSpace(EntryId)>& out_space,
                      LintReport& report) {
@@ -311,6 +347,9 @@ void lint_structural(const RuleSet& rules,
         }
       }
     }
+  }
+  if (config.ambiguous_priority_check) {
+    check_ambiguous_priority(rules, report);
   }
   check_goto_structure(rules, report);
   check_topology(rules, report);
@@ -454,9 +493,10 @@ LintReport Linter::run(const RuleSet& rules) const {
   telemetry::TraceSpan span("lint.run");
   LintReport report;
   lint_structural(
-      rules,
+      rules, config_,
       [&rules](EntryId id) { return rules.input_space(id).is_empty(); },
       [&rules](EntryId id) { return rules.output_space(id); }, report);
+  report.sort();
   record_lint_telemetry(report);
   return report;
 }
@@ -466,7 +506,7 @@ LintReport Linter::run(const core::AnalysisSnapshot& snapshot) const {
   const RuleSet& rules = snapshot.rules();
   LintReport report;
   lint_structural(
-      rules,
+      rules, config_,
       [&snapshot](EntryId id) { return snapshot.vertex_for(id) < 0; },
       [&snapshot](EntryId id) {
         const core::VertexId v = snapshot.vertex_for(id);
@@ -477,6 +517,7 @@ LintReport Linter::run(const core::AnalysisSnapshot& snapshot) const {
   if (config_.rule_graph_checks) {
     lint_rule_graph(snapshot, config_, report);
   }
+  report.sort();
   record_lint_telemetry(report);
   return report;
 }
@@ -509,6 +550,16 @@ core::AnalysisSnapshot build_checked_snapshot(const flow::RuleSet& rules,
   LintReport report = Linter(config).run(snapshot);
   if (config.strict && report.has_errors()) {
     throw LintError(std::move(report));
+  }
+  if (!config.invariants.empty()) {
+    Verifier verifier(config.invariants, config.verifier);
+    const VerifyReport verify_report = verifier.verify(snapshot);
+    const bool violated = verify_report.has_errors();
+    for (const Diagnostic& d : verify_report.diagnostics()) report.add(d);
+    report.sort();
+    if (config.invariant_strict && violated) {
+      throw LintError(std::move(report));
+    }
   }
   if (report_out != nullptr) *report_out = std::move(report);
   return snapshot;

@@ -21,6 +21,10 @@
 //   goto-cycle         E  cycle in a switch's goto-table graph
 //   dangling-output    E  output action to a port with no link and no host
 //   dangling-goto      E  goto to a missing or empty table
+//   ambiguous-priority W  two same-priority overlapping entries in one
+//                         table: legal under the tie-aware semantics
+//                         (insertion order wins) but almost always a
+//                         configuration bug; per-check toggle in LintConfig
 //   unreachable-table  W  a non-0 table no goto chain from table 0 reaches
 //   topology-*         E/W asymmetric adjacency, duplicate port bindings
 //                         (E); disconnected topology (W)
@@ -43,6 +47,7 @@
 #include <string>
 
 #include "analysis/diagnostic.h"
+#include "analysis/verifier.h"
 #include "core/analysis_snapshot.h"
 #include "flow/ruleset.h"
 
@@ -55,11 +60,24 @@ struct LintConfig {
   // Run the snapshot-only battery (rule-graph cycle / vertex spaces / SAT
   // edge discharge) in Linter::run(const AnalysisSnapshot&).
   bool rule_graph_checks = true;
+  // Flag pairs of same-priority overlapping entries in one table
+  // (ambiguous-priority). The tie-aware semantics from the churn work make
+  // them legal — insertion order decides — but depending on install order
+  // is almost always a configuration bug, so warn by default.
+  bool ambiguous_priority_check = true;
   // Maximum number of rule-graph edges discharged through the SAT encoder
   // (0 disables the check). When the graph has more edges, the first
   // `sat_edge_budget` in deterministic order are checked and an info
   // diagnostic records the truncation.
   std::size_t sat_edge_budget = 512;
+  // Network-wide invariants build_checked_snapshot verifies over the
+  // freshly built snapshot (analysis::Verifier); their diagnostics are
+  // merged into the lint report. Empty = no verification.
+  InvariantSet invariants;
+  VerifierConfig verifier;
+  // Error-severity *invariant* findings abort snapshot construction
+  // (throwing LintError), independent of `strict`.
+  bool invariant_strict = false;
 };
 
 class Linter {
@@ -95,6 +113,9 @@ class LintError : public std::runtime_error {
 // graph + snapshot from `rules`, lints it, and
 //   - with config.strict and error-severity findings: throws LintError
 //     (construction is aborted; no snapshot escapes);
+//   - with a non-empty config.invariants: verifies them over the snapshot
+//     and merges the verify diagnostics into the report; with
+//     config.invariant_strict, invariant violations also throw LintError;
 //   - otherwise: returns the snapshot (and the full report through
 //     `report_out` when non-null).
 // `rules` must outlive the returned snapshot, as with

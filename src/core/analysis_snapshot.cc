@@ -19,13 +19,28 @@ std::vector<std::vector<VertexId>> build_fanin_order(const RuleGraph& g) {
   return ordered;
 }
 
+std::vector<std::vector<VertexId>> build_ingress_index(const RuleGraph& g) {
+  std::vector<std::vector<VertexId>> ingress(
+      static_cast<std::size_t>(g.rules().switch_count()));
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (!g.is_active(v)) continue;
+    const flow::FlowEntry& e = g.rules().entry(g.entry_of(v));
+    if (e.table_id != 0) continue;
+    ingress[static_cast<std::size_t>(e.switch_id)].push_back(v);
+  }
+  return ingress;  // ascending per switch: v iterates in order
+}
+
 }  // namespace
 
 AnalysisSnapshot::AnalysisSnapshot(const RuleGraph& graph)
     : graph_(&graph),
       full_(hsa::HeaderSpace::full(graph.rules().header_width())),
       succ_by_fanin_(build_fanin_order(graph)),
-      closure_(std::make_unique<ClosureCache>()) {}
+      ingress_(build_ingress_index(graph)),
+      closure_(std::make_unique<ClosureCache>()) {
+  for (const auto& per_switch : ingress_) ingress_count_ += per_switch.size();
+}
 
 AnalysisSnapshot AnalysisSnapshot::build(const flow::RuleSet& rules) {
   auto owned = std::make_shared<const RuleGraph>(rules);

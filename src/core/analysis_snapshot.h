@@ -93,6 +93,20 @@ class AnalysisSnapshot {
   // The full header space (Definition 1's starting point), built once.
   const hsa::HeaderSpace& full_space() const { return full_; }
 
+  // Per-ingress forwarding-equivalence-class seeds: the active vertices
+  // whose entries live in (sw, table 0), ascending by vertex id. A packet a
+  // host injects at `sw` enters table 0, and the tie-aware per-table input
+  // spaces are pairwise disjoint — so these vertices' in-spaces partition
+  // the headers the switch can absorb, one equivalence class per vertex
+  // (the compilation unit of analysis::Verifier, DESIGN.md §14).
+  std::span<const VertexId> ingress_vertices(flow::SwitchId sw) const {
+    const auto i = static_cast<std::size_t>(sw);
+    if (sw < 0 || i >= ingress_.size()) return {};
+    return ingress_[i];
+  }
+  // Total ingress classes across all switches.
+  std::size_t ingress_class_count() const { return ingress_count_; }
+
   // Successors of v stable-sorted by predecessor count, ascending. This is
   // the MLPC stitch-search visit order (a successor only we can reach must
   // be claimed by us or it stays a singleton); precomputing it turns a
@@ -119,6 +133,8 @@ class AnalysisSnapshot {
   const RuleGraph* graph_;
   hsa::HeaderSpace full_;
   std::vector<std::vector<VertexId>> succ_by_fanin_;
+  std::vector<std::vector<VertexId>> ingress_;  // indexed by switch id
+  std::size_t ingress_count_ = 0;
   std::unique_ptr<ClosureCache> closure_;
 };
 

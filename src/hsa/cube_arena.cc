@@ -400,4 +400,41 @@ void simplify_cubes(CubeArena& a, std::size_t first, bool assume_deduped) {
   }
 }
 
+std::size_t subtract_space_into(const CubeArena& src, const CubeArena& sub,
+                                CubeArena& dst, CubeArena& tmp, bool dedup) {
+  assert(&src != &dst && &src != &tmp && &sub != &dst && &sub != &tmp &&
+         &dst != &tmp);
+  // Must match HeaderSpace::kSimplifyThreshold so the dedup fold stays
+  // cube-for-cube identical to HeaderSpace::subtract(HeaderSpace).
+  constexpr std::size_t kSimplifyThreshold = 24;
+  dst.reset(src.width());
+  if (sub.empty()) {
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst.push_words(src.bits0()[i], src.bits1()[i], src.mask0()[i],
+                     src.mask1()[i]);
+    }
+    return dst.size();
+  }
+  CubeArena* cur = &dst;
+  CubeArena* nxt = &tmp;
+  subtract_into(src, 0, src.size(), sub.view(0), *cur, dedup);
+  for (std::size_t j = 1; j < sub.size() && !cur->empty(); ++j) {
+    nxt->reset(src.width());
+    subtract_into(*cur, 0, cur->size(), sub.view(j), *nxt, dedup);
+    std::swap(cur, nxt);
+    if (dedup && cur->size() > kSimplifyThreshold) {
+      simplify_cubes(*cur, 0, /*assume_deduped=*/true);
+    }
+  }
+  if (dedup) simplify_cubes(*cur, 0, /*assume_deduped=*/true);
+  if (cur != &dst) {
+    dst.reset(src.width());
+    for (std::size_t i = 0; i < cur->size(); ++i) {
+      dst.push_words(cur->bits0()[i], cur->bits1()[i], cur->mask0()[i],
+                     cur->mask1()[i]);
+    }
+  }
+  return dst.size();
+}
+
 }  // namespace sdnprobe::hsa

@@ -129,6 +129,16 @@ void subtract_into(const CubeArena& src, std::size_t first, std::size_t last,
 void subtract_cube_into(const TernaryString& a, const TernaryString& b,
                         CubeArena& dst, bool dedup);
 
+// Whole-space difference src − sub, left in dst (dst is reset first).
+// Fold of subtract_into over the cubes of `sub`, double-buffered through
+// `tmp`, with the same interleaved-simplify schedule as
+// HeaderSpace::subtract(HeaderSpace) — with dedup the resulting cube list is
+// cube-for-cube identical to that scalar path. Used by consumers that hold
+// both operands as arenas already (e.g. analysis::Verifier's blackhole
+// residuals). None of src/sub/dst/tmp may alias. Returns dst.size().
+std::size_t subtract_space_into(const CubeArena& src, const CubeArena& sub,
+                                CubeArena& dst, CubeArena& tmp, bool dedup);
+
 // In-place subsumption cleanup of a[first, size): drops cube i when another
 // cube j in the range covers it (keeping the earlier of equal cubes),
 // compacting the survivors. Exact port of HeaderSpace::simplify.

@@ -33,11 +33,14 @@ struct Monitor::Instruments {
   telemetry::Counter& probes_regenerated;
   telemetry::Counter& probes_retired;
   telemetry::Counter& rounds_run;
+  telemetry::Counter& verify_runs;
+  telemetry::Counter& verify_violations;
   telemetry::Gauge& epoch;
   telemetry::Gauge& probe_count;
   telemetry::Gauge& coverage_fraction;
   telemetry::Gauge& uptime_wall_s;
   telemetry::Gauge& uptime_sim_s;
+  telemetry::Gauge& invariant_violations;
 
   Instruments()
       : churn_batches(registry().counter("monitor.churn_batches")),
@@ -47,11 +50,15 @@ struct Monitor::Instruments {
         probes_regenerated(registry().counter("monitor.probes_regenerated")),
         probes_retired(registry().counter("monitor.probes_retired")),
         rounds_run(registry().counter("monitor.rounds_run")),
+        verify_runs(registry().counter("monitor.verify_runs")),
+        verify_violations(registry().counter("monitor.verify_violations")),
         epoch(registry().gauge("monitor.epoch")),
         probe_count(registry().gauge("monitor.probe_count")),
         coverage_fraction(registry().gauge("monitor.coverage_fraction")),
         uptime_wall_s(registry().gauge("monitor.uptime_wall_s")),
-        uptime_sim_s(registry().gauge("monitor.uptime_sim_s")) {}
+        uptime_sim_s(registry().gauge("monitor.uptime_sim_s")),
+        invariant_violations(
+            registry().gauge("monitor.invariant_violations")) {}
 
   static telemetry::MetricsRegistry& registry() {
     return telemetry::MetricsRegistry::global();
@@ -74,8 +81,13 @@ Monitor::Monitor(flow::RuleSet& rules, controller::Controller& ctrl,
   // Incremental repair maintains one fixed cover across epochs; the
   // randomized variant re-draws covers per restart and is incompatible.
   SDNPROBE_CHECK(!config_.common.randomized);
+  if (config_.verify_invariants) {
+    verifier_ = std::make_unique<analysis::Verifier>(config_.invariants,
+                                                     config_.verifier);
+  }
   start_sim_s_ = loop.now();
   swap_epoch();  // epoch 1: the as-built network
+  run_verify(nullptr);
   regenerate_probes();
   publish_gauges();
 }
@@ -151,7 +163,33 @@ void Monitor::drain_churn() {
   span.annotate("removals", static_cast<double>(removals));
   span.annotate("touched", static_cast<double>(touched.size()));
   charge_wall_time(repair_ms * 1e-3);
+  run_verify(&touched);
   publish_gauges();
+}
+
+void Monitor::run_verify(const std::vector<core::VertexId>* touched) {
+  if (!verifier_) return;
+  telemetry::TraceSpan span("monitor.verify", [this] { return loop_->now(); });
+  util::WallTimer timer;
+  last_verify_ = touched != nullptr ? verifier_->apply_delta(*snapshot_,
+                                                             *touched)
+                                    : verifier_->verify(*snapshot_);
+  const double verify_ms = timer.elapsed_millis();
+  const analysis::VerifyStats& st = last_verify_.stats();
+  const auto violations = static_cast<std::uint64_t>(
+      last_verify_.count(analysis::Severity::kError));
+  verify_summary_.runs += 1;
+  if (touched == nullptr) verify_summary_.full_runs += 1;
+  verify_summary_.classes_verified += st.classes_verified;
+  verify_summary_.classes_reused += st.classes_reused;
+  verify_summary_.violations += violations;
+  verify_summary_.last_verify_ms = verify_ms;
+  verify_summary_.total_verify_ms += verify_ms;
+  tm_->verify_runs.add(1);
+  tm_->verify_violations.add(violations);
+  span.annotate("classes_verified", static_cast<double>(st.classes_verified));
+  span.annotate("classes_reused", static_cast<double>(st.classes_reused));
+  span.annotate("violations", static_cast<double>(violations));
 }
 
 void Monitor::regenerate_probes() {
@@ -388,6 +426,8 @@ MonitorStatus Monitor::status() const {
   st.uptime_sim_s = loop_->now() - start_sim_s_;
   st.pending_churn = pending_.size();
   st.flagged_switches = report_.flagged_switches;
+  st.invariant_violations = static_cast<std::uint64_t>(
+      last_verify_.count(analysis::Severity::kError));
   return st;
 }
 
@@ -399,6 +439,7 @@ void Monitor::publish_gauges() {
   tm_->coverage_fraction.set(st.coverage_fraction);
   tm_->uptime_wall_s.set(st.uptime_wall_s);
   tm_->uptime_sim_s.set(st.uptime_sim_s);
+  tm_->invariant_violations.set(static_cast<double>(st.invariant_violations));
 }
 
 }  // namespace sdnprobe::monitor

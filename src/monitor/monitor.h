@@ -27,6 +27,14 @@
 // bench/bench_monitor_churn.cc for the measured gap vs. full
 // regeneration).
 //
+// Invariant verification. With MonitorConfig::verify_invariants the monitor
+// owns an analysis::Verifier and runs it at every epoch swap: a full verify
+// over epoch 1, then VeriFlow-style incremental re-verification
+// (Verifier::apply_delta over the batch's touched vertices) for each churn
+// batch — so every epoch any reader can observe has a matching invariant
+// verdict (last_verify_report()). Verification runs outside the repair
+// timing; ChurnStats keeps measuring repair alone.
+//
 // Determinism. All repair is serial and index-ordered; full regeneration
 // and localization delegate to components that are bit-identical for any
 // thread count. Round r of epoch e always draws the same derived RNG
@@ -40,6 +48,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "controller/controller.h"
 #include "core/analysis_snapshot.h"
 #include "core/common_options.h"
@@ -97,6 +106,14 @@ struct MonitorConfig {
   bool charge_repair_time = false;
   // MLPC search budget for full regeneration.
   std::size_t mlpc_search_budget = 4096;
+  // Verify `invariants` at every epoch swap (analysis::Verifier, DESIGN.md
+  // §14): a full verify at construction, then incremental apply_delta over
+  // each churn batch's touched region. Off by default — verification adds
+  // static-analysis cost to every batch, and churn benches/tests measure
+  // repair alone.
+  bool verify_invariants = false;
+  analysis::InvariantSet invariants;
+  analysis::VerifierConfig verifier;
 };
 
 // Cumulative churn/repair accounting.
@@ -109,6 +126,19 @@ struct ChurnStats {
   std::uint64_t probes_retired = 0;      // dropped: path hits a flagged switch
   double last_repair_ms = 0.0;
   double total_repair_ms = 0.0;
+};
+
+// Cumulative invariant-verification accounting (all zero unless
+// MonitorConfig::verify_invariants). `violations` sums error diagnostics
+// over runs; a persistent violation is counted once per epoch it survives.
+struct VerifySummary {
+  std::uint64_t runs = 0;
+  std::uint64_t full_runs = 0;          // construction + any manual verify
+  std::uint64_t classes_verified = 0;   // traversed
+  std::uint64_t classes_reused = 0;     // delta-slicing cache hits
+  std::uint64_t violations = 0;
+  double last_verify_ms = 0.0;
+  double total_verify_ms = 0.0;
 };
 
 // One completed monitoring round (one FaultLocalizer episode).
@@ -144,6 +174,9 @@ struct MonitorStatus {
   double uptime_sim_s = 0.0;          // sim clock since construction
   std::size_t pending_churn = 0;
   std::vector<flow::SwitchId> flagged_switches;
+  // Error diagnostics in the latest epoch's verify report (0 when
+  // verification is disabled).
+  std::uint64_t invariant_violations = 0;
 };
 
 class Monitor {
@@ -193,6 +226,11 @@ class Monitor {
   const ChurnStats& churn_stats() const { return churn_stats_; }
   const MonitorReport& report() const { return report_; }
   MonitorStatus status() const;
+  // Latest epoch's invariant verification (empty report when disabled).
+  const analysis::VerifyReport& last_verify_report() const {
+    return last_verify_;
+  }
+  const VerifySummary& verify_summary() const { return verify_summary_; }
 
  private:
   struct Instruments;  // resolved telemetry handles (monitor.cc)
@@ -209,6 +247,11 @@ class Monitor {
   // Drops probes traversing a flagged switch (they would fail every round
   // while the fault awaits repair, re-localizing known information).
   void retire_flagged_probes();
+  // Verifies the current epoch's snapshot: full verify when `touched` is
+  // null (construction), incremental apply_delta otherwise. No-op unless
+  // config.verify_invariants. Runs outside the repair timing so
+  // ChurnStats::*_repair_ms keeps measuring repair alone.
+  void run_verify(const std::vector<core::VertexId>* touched);
   void schedule_next_round();
   void charge_wall_time(double seconds);
   void publish_gauges();
@@ -228,6 +271,10 @@ class Monitor {
   std::uint64_t next_probe_id_ = 1;
   std::vector<ChurnOp> pending_;
   ChurnStats churn_stats_;
+
+  std::unique_ptr<analysis::Verifier> verifier_;  // null when disabled
+  analysis::VerifyReport last_verify_;
+  VerifySummary verify_summary_;
 
   bool running_ = false;
   std::uint64_t generation_ = 0;  // invalidates queued round events on stop()

@@ -285,5 +285,33 @@ TEST(CubeArena, InputSpaceMatchesScalarFoldExactly) {
   }
 }
 
+// The whole-space fold kernel (analysis::Verifier's blackhole residuals)
+// must reproduce HeaderSpace::subtract(HeaderSpace) cube-for-cube with
+// dedup, and be set-equivalent without.
+TEST(CubeArena, SubtractSpaceIntoMatchesHeaderSpaceSubtract) {
+  util::Rng rng(9);
+  for (const int w : {8, 16, 64, 100}) {
+    for (int it = 0; it < 32; ++it) {
+      HeaderSpace a(w);
+      HeaderSpace b(w);
+      for (int i = 0; i < 4; ++i) {
+        a = a.union_with(HeaderSpace(random_cube(rng, w)));
+        b = b.union_with(HeaderSpace(random_cube(rng, w)));
+      }
+      CubeArena src(w), sub(w), dst, tmp;
+      for (const auto& c : a.cubes()) src.push(c);
+      for (const auto& c : b.cubes()) sub.push(c);
+      subtract_space_into(src, sub, dst, tmp, /*dedup=*/true);
+      EXPECT_EQ(arena_cubes(dst), a.subtract(b).cubes())
+          << "width " << w << " iteration " << it;
+
+      // Empty-subtrahend fast path copies the source verbatim.
+      CubeArena none(w), dst2, tmp2;
+      subtract_space_into(src, none, dst2, tmp2, /*dedup=*/true);
+      EXPECT_EQ(arena_cubes(dst2), a.cubes());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sdnprobe::hsa

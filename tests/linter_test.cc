@@ -256,5 +256,104 @@ TEST(LintReportTest, RenderingAndCounting) {
   EXPECT_NE(text.find("port=9"), std::string::npos);
 }
 
+TEST(Linter, AmbiguousPriorityOverlapIsWarnedAtTheLaterEntry) {
+  Fixture f;
+  const auto first =
+      f.add(0, 0, 10, ts("00xxxxxx"), flow::Action::output(f.port01()));
+  const auto second =
+      f.add(0, 0, 10, ts("0xxxxxxx"), flow::Action::output(f.host(0)));
+  f.add(1, 0, 10, ts("00xxxxxx"), flow::Action::output(f.host(1)));
+
+  const LintReport report = Linter().run(f.rules);
+  ASSERT_EQ(report.count(CheckId::kAmbiguousPriority), 1u)
+      << report.to_string();
+  const Diagnostic* d = report.by_check(CheckId::kAmbiguousPriority)[0];
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  // The later-installed entry is flagged, naming the earlier one it ties
+  // with (install order decides the winner under tie-aware semantics).
+  EXPECT_EQ(d->location.entry_id, second);
+  ASSERT_FALSE(d->payload.empty());
+  EXPECT_EQ(d->payload[0].first, "ties-with");
+  EXPECT_EQ(d->payload[0].second, std::to_string(first));
+}
+
+TEST(Linter, AmbiguousPriorityCheckCanBeDisabled) {
+  Fixture f;
+  f.add(0, 0, 10, ts("00xxxxxx"), flow::Action::output(f.port01()));
+  f.add(0, 0, 10, ts("0xxxxxxx"), flow::Action::output(f.host(0)));
+  f.add(1, 0, 10, ts("00xxxxxx"), flow::Action::output(f.host(1)));
+  LintConfig config;
+  config.ambiguous_priority_check = false;
+  const LintReport report = Linter(config).run(f.rules);
+  EXPECT_EQ(report.count(CheckId::kAmbiguousPriority), 0u)
+      << report.to_string();
+}
+
+TEST(Linter, SamePriorityDisjointEntriesAreNotAmbiguous) {
+  Fixture f;
+  f.add(0, 0, 10, ts("00xxxxxx"), flow::Action::output(f.port01()));
+  f.add(0, 0, 10, ts("01xxxxxx"), flow::Action::output(f.host(0)));
+  // Overlapping matches at *different* priorities are ordinary shadowing
+  // structure, not ambiguity.
+  f.add(0, 0, 5, ts("0xxxxxxx"), flow::Action::output(f.host(0)));
+  f.add(1, 0, 10, ts("00xxxxxx"), flow::Action::output(f.host(1)));
+  const LintReport report = Linter().run(f.rules);
+  EXPECT_EQ(report.count(CheckId::kAmbiguousPriority), 0u)
+      << report.to_string();
+}
+
+// Reports leave the linter sorted by (check, switch, table, entry) so their
+// rendering is a pure function of the analyzed model.
+TEST(Linter, ReportIsDeterministicallySorted) {
+  Fixture f;
+  // Seed defects across switches and checks, installed in scrambled order.
+  f.add(1, 0, 10, ts("01xxxxxx"), flow::Action::output(flow::PortId{9}));
+  f.add(0, 0, 10, ts("00xxxxxx"), flow::Action::goto_table(7));
+  f.add(0, 0, 10, ts("0xxxxxxx"), flow::Action::output(flow::PortId{8}));
+  const LintReport a = Linter().run(f.rules);
+  const LintReport b = Linter().run(f.rules);
+  EXPECT_TRUE(a.is_sorted());
+  EXPECT_EQ(a.to_string(), b.to_string());
+  // Sorted means grouped by check id first, then location.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(static_cast<int>(a.diagnostics()[i - 1].check),
+              static_cast<int>(a.diagnostics()[i].check));
+  }
+}
+
+TEST(BuildCheckedSnapshot, InvariantDiagnosticsAreMergedIntoTheReport) {
+  Fixture f;
+  f.add(0, 0, 10, ts("0xxxxxxx"), flow::Action::output(f.port01()));
+  f.add(1, 0, 10, ts("0xxxxxxx"), flow::Action::output(f.host(1)));
+  LintConfig config;
+  config.invariants.add(Invariant::no_reach(0, 1));  // violated by design
+  LintReport report;
+  const core::AnalysisSnapshot snapshot =
+      build_checked_snapshot(f.rules, config, &report);
+  (void)snapshot;
+  EXPECT_EQ(report.count(CheckId::kForbiddenPath), 1u) << report.to_string();
+  EXPECT_TRUE(report.is_sorted());
+}
+
+TEST(BuildCheckedSnapshot, InvariantStrictModeRefusesViolatedSnapshots) {
+  Fixture f;
+  f.add(0, 0, 10, ts("0xxxxxxx"), flow::Action::output(f.port01()));
+  f.add(1, 0, 10, ts("0xxxxxxx"), flow::Action::output(f.host(1)));
+  LintConfig config;
+  config.invariants.add(Invariant::no_reach(0, 1));
+  config.invariant_strict = true;
+  try {
+    build_checked_snapshot(f.rules, config);
+    FAIL() << "expected LintError";
+  } catch (const LintError& e) {
+    EXPECT_GE(e.report().count(CheckId::kForbiddenPath), 1u);
+  }
+
+  // The same network under a satisfiable invariant set constructs fine.
+  config.invariants = InvariantSet::builtin();
+  config.invariants.add(Invariant::reach(0, 1));
+  EXPECT_NO_THROW(build_checked_snapshot(f.rules, config));
+}
+
 }  // namespace
 }  // namespace sdnprobe::analysis

@@ -1,0 +1,143 @@
+// Replays every serialized failure scenario in a corpus directory through
+// the full detect -> diagnose -> patch -> confirm loop and asserts each
+// scenario's recorded expectation (repair/corpus.h):
+//
+//   healed     auto-repair must clear the fault (and the flag, unless the
+//              winning strategy quarantines)
+//   unhealed   a known-unfixable world: detection must flag it, repair must
+//              fail *cleanly* — every installed patch rolled back, the
+//              network semantically untouched
+//   detected   detection only (no repair engine attached)
+//   (empty)    the replay just must not crash
+//
+// Run by ctest over bench/corpus/ so every captured failure becomes a
+// permanent regression test.
+//
+// Usage: replay_corpus <corpus-dir>
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+#include "core/analysis_snapshot.h"
+#include "dataplane/network.h"
+#include "monitor/monitor.h"
+#include "repair/corpus.h"
+#include "repair/engine.h"
+
+using namespace sdnprobe;
+
+namespace {
+
+constexpr int kMaxRounds = 6;
+
+bool replay(const std::filesystem::path& path) {
+  const auto scenario = repair::load_scenario_file(path.string());
+  if (!scenario.has_value()) {
+    std::printf("FAIL %s: malformed scenario\n", path.filename().c_str());
+    return false;
+  }
+  const repair::Scenario& sc = *scenario;
+  std::printf("%s (expect %s): %s\n", path.filename().c_str(),
+              sc.expect.empty() ? "nothing" : sc.expect.c_str(),
+              sc.note.c_str());
+
+  flow::RuleSet rules = repair::build_ruleset(sc);
+  sim::EventLoop loop;
+  dataplane::Network net(rules, loop);
+  controller::Controller ctrl(rules, net);
+  monitor::Monitor mon(rules, ctrl, loop, {});
+  repair::install_faults(sc, net.faults());
+
+  const std::string before = core::canonical_fingerprint(*mon.snapshot());
+  std::unique_ptr<repair::AutoRepair> heal;
+  if (sc.expect == "healed" || sc.expect == "unhealed") {
+    heal = std::make_unique<repair::AutoRepair>(mon, ctrl, loop,
+                                                repair::RepairConfig{});
+  }
+  for (int r = 0; r < kMaxRounds; ++r) {
+    mon.run_round();
+    if (sc.expect == "detected" && !mon.report().flagged_switches.empty()) {
+      break;
+    }
+    if (heal && !heal->outcomes().empty()) break;
+  }
+
+  if (sc.expect == "detected") {
+    if (mon.report().flagged_switches.empty()) {
+      std::printf("  FAIL: fault never detected\n");
+      return false;
+    }
+    std::printf("  ok: flagged switch %d\n",
+                static_cast<int>(mon.report().flagged_switches[0]));
+    return true;
+  }
+  if (sc.expect == "healed") {
+    if (heal->heals() == 0 || !mon.report().flagged_switches.empty()) {
+      std::printf("  FAIL: not healed (%zu outcomes, %zu flags)\n",
+                  heal->outcomes().size(),
+                  mon.report().flagged_switches.size());
+      return false;
+    }
+    std::printf("  ok: %s\n", heal->outcomes().front().to_string().c_str());
+    return true;
+  }
+  if (sc.expect == "unhealed") {
+    if (heal->outcomes().empty()) {
+      std::printf("  FAIL: fault never detected, repair never ran\n");
+      return false;
+    }
+    if (heal->heals() != 0) {
+      std::printf("  FAIL: unfixable scenario reported healed\n");
+      return false;
+    }
+    for (const repair::RepairOutcome& o : heal->outcomes()) {
+      for (const repair::PatchAttempt& at : o.attempts) {
+        if (at.installed && !at.rolled_back) {
+          std::printf("  FAIL: failed patch left installed (%s)\n",
+                      repair::strategy_name(at.strategy));
+          return false;
+        }
+      }
+    }
+    if (core::canonical_fingerprint(*mon.snapshot()) != before) {
+      std::printf("  FAIL: rollbacks did not restore the network\n");
+      return false;
+    }
+    std::printf("  ok: %s\n", heal->outcomes().front().to_string().c_str());
+    return true;
+  }
+  std::printf("  ok: replay completed\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::printf("usage: replay_corpus <corpus-dir>\n");
+    return 2;
+  }
+  const std::filesystem::path dir = argv[1];
+  if (!std::filesystem::is_directory(dir)) {
+    std::printf("not a directory: %s\n", dir.c_str());
+    return 2;
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".scenario") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::printf("no .scenario files in %s\n", dir.c_str());
+    return 2;
+  }
+  int failures = 0;
+  for (const auto& f : files) {
+    if (!replay(f)) ++failures;
+  }
+  std::printf("%zu scenarios, %d failures\n", files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}

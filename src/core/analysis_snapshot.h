@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/rule_graph.h"
@@ -137,5 +138,16 @@ class AnalysisSnapshot {
   std::size_t ingress_count_ = 0;
   std::unique_ptr<ClosureCache> closure_;
 };
+
+// Canonical, EntryId-independent fingerprint of the frozen network model:
+// one line per active vertex — the entry's semantic signature (switch,
+// table, priority, match, set field, action) plus its computed in/out
+// header spaces and the signatures of its rule-graph successors — with
+// cube lists and line order sorted so neither subtraction order nor entry
+// numbering leaks in. Two snapshots whose rulesets are identical up to
+// entry renumbering fingerprint identically, which is the bit-identity
+// oracle for the repair rollback property test (install + remove, then
+// apply monitor::Monitor::invert, must return to the original string).
+std::string canonical_fingerprint(const AnalysisSnapshot& snap);
 
 }  // namespace sdnprobe::core

@@ -40,6 +40,20 @@ struct LocalizerInstruments {
 
 }  // namespace
 
+const char* deviation_kind_name(DeviationKind k) {
+  switch (k) {
+    case DeviationKind::kMissing:
+      return "missing";
+    case DeviationKind::kModifiedReturn:
+      return "modified-return";
+    case DeviationKind::kMisrouted:
+      return "misrouted";
+    case DeviationKind::kModifiedDelivery:
+      return "modified-delivery";
+  }
+  return "unknown";
+}
+
 bool DetectionReport::flagged(flow::SwitchId s) const {
   // Flags only accumulate, so a size mismatch is the complete staleness
   // signal; rebuilding on it keeps the common lookup O(1) while staying
@@ -176,6 +190,10 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
   std::uint64_t next_round_probe_id = 1u << 20;  // round-local correlation ids
   // Paths already sliced this detection run (avoid duplicate children).
   std::set<std::pair<flow::EntryId, flow::EntryId>> sliced;
+  // Per-span deviation evidence, accumulated across rounds (latest failing
+  // observation wins; a later clean pass of the same span retracts it).
+  std::map<std::pair<flow::EntryId, flow::EntryId>, ProbeEvidence>
+      evidence_by_span;
 
   for (int round = 1; round <= config_.max_rounds; ++round) {
     RoundRecord rec;
@@ -234,7 +252,21 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
               graph_->rules().entry(ap.probe.terminal_entry).switch_id;
           if (from != expect_sw || !(pk.header == ap.probe.expected_return)) {
             ap.mismatched = true;
+            ap.returned_from = from;
+            ap.returned_header = pk.header;
           }
+        });
+    // A probe that leaks out of the network at a host port instead of
+    // hitting its test point was misrouted (or its header was corrupted
+    // past recognition); record the first such delivery as evidence.
+    ctrl_->network().set_host_delivery_handler(
+        [&](flow::SwitchId sw, const dataplane::Packet& pk, sim::SimTime) {
+          const auto it = by_id.find(pk.probe_id);
+          if (it == by_id.end()) return;
+          ActiveProbe& ap = active[it->second.index];
+          if (ap.delivered_sw >= 0) return;  // keep the first observation
+          ap.delivered_sw = sw;
+          ap.delivered_header = pk.header;
         });
 
     const double spacing = static_cast<double>(config_.probe_size_bytes) /
@@ -305,6 +337,7 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
       loop_->run_until(rt + wait);
     }
     ctrl_->set_probe_return_handler(nullptr);
+    ctrl_->network().set_host_delivery_handler(nullptr);
 
     // --- Evaluate (Algorithm 2 lines 5-16). ---
     // Failing probes stay in the tested set (line 14) and multi-rule
@@ -325,6 +358,13 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
     for (ActiveProbe& ap : active) {
       const bool failed = !ap.returned || ap.mismatched;
       if (!failed) {
+        // End-to-end confirmation for every rule on the path; a previously
+        // recorded deviation for this exact span is thereby retracted.
+        for (const flow::EntryId e : ap.probe.entries) {
+          report.cleared_entries[e] = round;
+        }
+        evidence_by_span.erase(
+            {ap.probe.entries.front(), ap.probe.entries.back()});
         if (ap.was_retried) {
           // Retry confirmed a clean path: the initial miss was channel loss.
           ++rec.recovered;
@@ -350,6 +390,37 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
       for (const flow::EntryId e : ap.probe.entries) ++suspicion_[e];
       LocalizerInstruments::get().suspicion_updates.add(
           ap.probe.entries.size());
+      {
+        ProbeEvidence ev;
+        ev.probe_id = ap.probe.probe_id;
+        ev.round = round;
+        ev.expected_path = ap.probe.entries;
+        if (ap.returned) {
+          ev.deviation = DeviationKind::kModifiedReturn;
+          ev.observed_switch = ap.returned_from;
+          ev.observed_header = ap.returned_header;
+        } else if (ap.delivered_sw >= 0) {
+          // Intact iff the delivered header matches the probe header pushed
+          // through some prefix of the expected path's set fields — then
+          // the packet was merely steered out the wrong port (misroute);
+          // any other header means something rewrote it (modify).
+          hsa::TernaryString h = ap.probe.header;
+          bool intact = h == ap.delivered_header;
+          for (const flow::EntryId e : ap.probe.entries) {
+            if (intact) break;
+            h = h.transform(graph_->rules().entry(e).set_field);
+            intact = h == ap.delivered_header;
+          }
+          ev.deviation = intact ? DeviationKind::kMisrouted
+                                : DeviationKind::kModifiedDelivery;
+          ev.observed_switch = ap.delivered_sw;
+          ev.observed_header = ap.delivered_header;
+        } else {
+          ev.deviation = DeviationKind::kMissing;
+        }
+        evidence_by_span[{ap.probe.entries.front(),
+                          ap.probe.entries.back()}] = std::move(ev);
+      }
       // Accumulated-suspicion flagging (intermittent faults): the strictly
       // most-suspected rule on this failing path crossing the strong
       // threshold identifies its switch.
@@ -375,6 +446,7 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
             report.detection_time_s = loop_->now() - t0;
             LocalizerInstruments::get().switches_flagged.add();
           }
+          report.flag_culprits.emplace(sw, top);
           continue;  // path explained by the new flag
         }
       }
@@ -400,6 +472,7 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
           }
           flagged_.insert(sw);
           rec.newly_flagged.push_back(sw);
+          report.flag_culprits.emplace(sw, e);
           report.detection_time_s = loop_->now() - t0;
         } else {
           // Keep retesting the singleton.
@@ -449,6 +522,18 @@ DetectionReport FaultLocalizer::run(RoundCallback callback) {
 
   report.flagged_switches.assign(flagged_.begin(), flagged_.end());
   report.total_time_s = loop_->now() - t0;
+  // Finalize evidence: span-sorted (map order) for determinism, with
+  // last_confirmed computed against the full run's cleared set.
+  for (auto& [span, ev] : evidence_by_span) {
+    flow::EntryId last = -1;
+    for (const flow::EntryId e : ev.expected_path) {
+      if (report.cleared_entries.count(e) == 0) break;
+      last = e;
+    }
+    ev.last_confirmed = last;
+    report.evidence.push_back(std::move(ev));
+  }
+  report.suspicion = suspicion_;
   run_span.annotate("rounds", static_cast<double>(report.rounds));
   run_span.annotate("probes_sent", static_cast<double>(report.probes_sent));
   run_span.annotate("flagged",

@@ -120,6 +120,37 @@ struct RoundRecord {
   std::vector<flow::SwitchId> newly_flagged;
 };
 
+// How a failing probe's observed behaviour deviated from its expected path
+// (per-probe evidence for repair::Diagnoser, DESIGN.md §15).
+enum class DeviationKind {
+  kMissing,           // never returned anywhere: dropped on path
+  kModifiedReturn,    // returned via PacketIn but from the wrong switch or
+                      // with the wrong header
+  kMisrouted,         // left the network at a host port with an intact
+                      // header: forwarded out the wrong port
+  kModifiedDelivery,  // left the network with a corrupted header
+};
+
+const char* deviation_kind_name(DeviationKind k);
+
+// One failing probe's testimony: what it was supposed to traverse and where
+// the observed behaviour diverged. last_confirmed is the deepest entry on
+// expected_path up to which *other* (passing) probes confirmed forwarding
+// this run, walking from the front; -1 when even the first hop is
+// unconfirmed.
+struct ProbeEvidence {
+  std::uint64_t probe_id = 0;
+  int round = 0;  // localizer round that last observed this span failing
+  std::vector<flow::EntryId> expected_path;
+  DeviationKind deviation = DeviationKind::kMissing;
+  flow::EntryId last_confirmed = -1;
+  // Where the deviated packet surfaced (PacketIn switch for
+  // kModifiedReturn, egress switch for kMisrouted/kModifiedDelivery; -1 for
+  // kMissing) and the header it carried there.
+  flow::SwitchId observed_switch = -1;
+  hsa::TernaryString observed_header;
+};
+
 struct DetectionReport {
   std::vector<flow::SwitchId> flagged_switches;  // sorted, unique
   // Simulated time at which the last switch was flagged (0 when none).
@@ -133,6 +164,21 @@ struct DetectionReport {
   std::size_t retry_recoveries = 0;
   int rounds = 0;
   std::vector<RoundRecord> round_log;
+
+  // ---- Per-probe evidence (repair support, DESIGN.md §15) ----
+  // One entry per distinct failing unexplained span, carrying the latest
+  // round's observation; sorted by (first entry, terminal entry) of the
+  // span, so the list is deterministic across thread counts.
+  std::vector<ProbeEvidence> evidence;
+  // Entries whose probes passed cleanly, mapped to the last round that
+  // cleared them (forwarding through these was confirmed end-to-end).
+  std::map<flow::EntryId, int> cleared_entries;
+  // For each flagged switch, the entry whose suspicion triggered the flag —
+  // the localizer's best guess at the faulty entry itself.
+  std::map<flow::SwitchId, flow::EntryId> flag_culprits;
+  // Final per-entry suspicion levels (FaultLocalizer::suspicion_levels()
+  // snapshot, so consumers holding only the report can rank suspects).
+  std::map<flow::EntryId, int> suspicion;
 
   // O(1) membership test against flagged_switches (hash lookup backed by a
   // lazily rebuilt cache; safe against callers that assign the vector
@@ -184,6 +230,13 @@ class FaultLocalizer {
     bool mismatched = false;
     bool was_retried = false;  // at least one confirmation re-send issued
     int linger = 0;  // remaining lingering rounds (localization probes)
+    // Deviation evidence: where a mismatched PacketIn came from / what it
+    // carried, and the first host delivery seen for this probe (a probe
+    // that leaks out of the network instead of returning was misrouted).
+    flow::SwitchId returned_from = -1;
+    hsa::TernaryString returned_header;
+    flow::SwitchId delivered_sw = -1;
+    hsa::TernaryString delivered_header;
   };
   // Correlates a PacketIn back to its probe: index into the round's active
   // probe list plus the injection time (for RTT observation).

@@ -62,17 +62,36 @@ void FaultInjector::add_fault(flow::EntryId entry, FaultSpec spec) {
   faults_[entry] = std::move(spec);
 }
 
-void FaultInjector::clear() { faults_.clear(); }
+void FaultInjector::add_switch_fault(flow::SwitchId sw, FaultSpec spec) {
+  switch_faults_[sw] = std::move(spec);
+}
+
+void FaultInjector::clear() {
+  faults_.clear();
+  switch_faults_.clear();
+}
 
 const FaultSpec* FaultInjector::fault_for(flow::EntryId entry) const {
   const auto it = faults_.find(entry);
   return it == faults_.end() ? nullptr : &it->second;
 }
 
+const FaultSpec* FaultInjector::switch_fault_for(flow::SwitchId sw) const {
+  const auto it = switch_faults_.find(sw);
+  return it == switch_faults_.end() ? nullptr : &it->second;
+}
+
 std::vector<flow::EntryId> FaultInjector::faulty_entries() const {
   std::vector<flow::EntryId> out;
   out.reserve(faults_.size());
   for (const auto& [id, spec] : faults_) out.push_back(id);
+  return out;
+}
+
+std::vector<flow::SwitchId> FaultInjector::faulty_switch_ids() const {
+  std::vector<flow::SwitchId> out;
+  out.reserve(switch_faults_.size());
+  for (const auto& [sw, spec] : switch_faults_) out.push_back(sw);
   return out;
 }
 

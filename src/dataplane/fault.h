@@ -77,25 +77,42 @@ struct FaultSpec {
 
 // Registry of faulty entries for one network. Ground truth accessors are for
 // evaluation only; detection algorithms never consult them.
+//
+// Faults attach at two granularities: per entry (the paper's model — one
+// flow entry executes incorrectly) and per switch (hardware-level: every
+// entry the switch matches misbehaves, including entries installed *after*
+// the fault, which is what makes reinstall-style repairs fail against it).
+// An entry-level fault shadows the switch-level one for that entry.
 class FaultInjector {
  public:
   void add_fault(flow::EntryId entry, FaultSpec spec);
+  void add_switch_fault(flow::SwitchId sw, FaultSpec spec);
   void clear();
 
   // The spec for an entry if it is faulty (regardless of current activity).
   const FaultSpec* fault_for(flow::EntryId entry) const;
+  // The spec for a whole-switch fault, if one is registered.
+  const FaultSpec* switch_fault_for(flow::SwitchId sw) const;
 
   bool entry_is_faulty(flow::EntryId entry) const {
     return faults_.count(entry) > 0;
   }
+  bool switch_is_faulty(flow::SwitchId sw) const {
+    return switch_faults_.count(sw) > 0;
+  }
 
   // Ground truth: all faulty entry ids.
   std::vector<flow::EntryId> faulty_entries() const;
+  // Ground truth: switches with whole-switch faults.
+  std::vector<flow::SwitchId> faulty_switch_ids() const;
 
-  std::size_t fault_count() const { return faults_.size(); }
+  std::size_t fault_count() const {
+    return faults_.size() + switch_faults_.size();
+  }
 
  private:
   std::unordered_map<flow::EntryId, FaultSpec> faults_;
+  std::unordered_map<flow::SwitchId, FaultSpec> switch_faults_;
 };
 
 }  // namespace sdnprobe::dataplane

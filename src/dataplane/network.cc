@@ -221,9 +221,13 @@ void Network::process(flow::SwitchId sw, Packet p, flow::TableId table) {
   }
   p.entry_trace.push_back(e->id);
 
-  // Fault hook: a faulty entry executes incorrectly (§III-B).
-  if (const FaultSpec* f = faults_.fault_for(e->id);
-      f && f->is_active(loop_->now(), p.header)) {
+  // Fault hook: a faulty entry executes incorrectly (§III-B). An entry
+  // fault shadows a whole-switch fault; the switch-level registration
+  // applies to every entry the switch matches — including entries installed
+  // after registration, which is why reinstalls cannot heal it.
+  const FaultSpec* f = faults_.fault_for(e->id);
+  if (!f) f = faults_.switch_fault_for(sw);
+  if (f && f->is_active(loop_->now(), p.header)) {
     ++counters_.faults_applied;
     tm_.faults_applied->add();
     p.tampered = true;
@@ -314,6 +318,11 @@ std::vector<flow::SwitchId> Network::faulty_switches() const {
   for (const flow::EntryId id : faults_.faulty_entries()) {
     if (id >= 0 && static_cast<std::size_t>(id) < rules_->entry_count()) {
       seen[static_cast<std::size_t>(rules_->entry(id).switch_id)] = 1;
+    }
+  }
+  for (const flow::SwitchId sw : faults_.faulty_switch_ids()) {
+    if (sw >= 0 && static_cast<std::size_t>(sw) < seen.size()) {
+      seen[static_cast<std::size_t>(sw)] = 1;
     }
   }
   std::vector<flow::SwitchId> out;

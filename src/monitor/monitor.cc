@@ -121,11 +121,14 @@ void Monitor::drain_churn() {
   std::vector<core::VertexId> touched;
   std::uint64_t installs = 0;
   std::uint64_t removals = 0;
+  last_churn_ = ChurnLog{};
   for (ChurnOp& op : pending_) {
     if (op.kind == ChurnOp::Kind::kInstall) {
       const flow::EntryId id = rules_->add_entry(std::move(op.entry));
       net.install_entry(rules_->entry(id));
       graph_.apply_entry_added(id, &touched);
+      last_churn_.applied.push_back(
+          AppliedOp{ChurnOp::Kind::kInstall, id, rules_->entry(id)});
       ++installs;
     } else {
       const flow::EntryId id = op.remove_id;
@@ -134,6 +137,7 @@ void Monitor::drain_churn() {
         continue;  // unknown or double removal: ignore, like a real NBI
       }
       const flow::FlowEntry& e = rules_->entry(id);
+      last_churn_.applied.push_back(AppliedOp{ChurnOp::Kind::kRemove, id, e});
       net.remove_entry(e.switch_id, e.table_id, e.id);
       rules_->remove_entry(id);
       const std::vector<core::VertexId> t = graph_.apply_entry_removed(id);
@@ -143,6 +147,7 @@ void Monitor::drain_churn() {
   }
   pending_.clear();
   swap_epoch();
+  last_churn_.epoch = epoch_;
   if (config_.incremental_repair) {
     repair_probes(touched);
   } else {
@@ -299,6 +304,7 @@ std::vector<std::vector<core::VertexId>> Monitor::uncovered_paths() const {
 }
 
 void Monitor::run_round() {
+  if (paused_) return;  // a repair episode owns the dataplane handlers
   drain_churn();
   telemetry::TraceSpan span("monitor.round", [this] { return loop_->now(); });
   const double start_s = loop_->now();
@@ -314,6 +320,7 @@ void Monitor::run_round() {
   core::FaultLocalizer loc(*snap, *ctrl_, *loop_, lc);
   loc.set_cover_probes(probes_);
   const core::DetectionReport rep = loc.run();
+  last_detection_ = rep;
 
   MonitorRound rec;
   rec.index = report_.rounds;
@@ -338,6 +345,37 @@ void Monitor::run_round() {
   report_.round_log.push_back(std::move(rec));
   if (flagged_new) retire_flagged_probes();
   tm_->rounds_run.add(1);
+  publish_gauges();
+  if (round_hook_) round_hook_(report_.round_log.back());
+}
+
+std::vector<ChurnOp> Monitor::invert(const ChurnLog& log) {
+  // Walk the applied batch backwards: each install becomes a removal of the
+  // id the monitor assigned, each removal re-installs the saved entry copy
+  // (with a fresh id — tombstoned ids are never reused, so the snapshot is
+  // restored up to entry renumbering; canonical_fingerprint ignores ids).
+  std::vector<ChurnOp> out;
+  out.reserve(log.applied.size());
+  for (auto it = log.applied.rbegin(); it != log.applied.rend(); ++it) {
+    if (it->kind == ChurnOp::Kind::kInstall) {
+      out.push_back(ChurnOp::remove(it->id));
+    } else {
+      flow::FlowEntry e = it->entry;
+      e.id = -1;
+      out.push_back(ChurnOp::install(std::move(e)));
+    }
+  }
+  return out;
+}
+
+void Monitor::mark_repaired(flow::SwitchId sw) {
+  if (flagged_.erase(sw) == 0) return;
+  report_.flagged_switches.assign(flagged_.begin(), flagged_.end());
+  // Re-cover the vertices whose probes were retired while the switch was
+  // flagged; with the flag down, repair_probes' greedy pass rebuilds paths
+  // through it (no vertices were touched, so every kept probe survives).
+  repair_probes({});
+  retire_flagged_probes();
   publish_gauges();
 }
 

@@ -43,6 +43,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -83,6 +84,26 @@ struct ChurnOp {
   Kind kind = Kind::kInstall;
   flow::FlowEntry entry;          // kInstall
   flow::EntryId remove_id = -1;   // kRemove
+};
+
+// One op as it was actually applied by drain_churn(): the resolved EntryId
+// (installs get theirs assigned at apply time) and the full entry as it
+// stood at apply time — everything needed to construct the exact inverse
+// FlowMod. Ops the drain skipped (double removals, unknown ids) are not
+// recorded.
+struct AppliedOp {
+  ChurnOp::Kind kind = ChurnOp::Kind::kInstall;
+  flow::EntryId id = -1;
+  flow::FlowEntry entry;  // the installed entry / the entry that was removed
+};
+
+// The record of one drained churn batch, kept for rollback: `epoch` is the
+// epoch the batch produced.
+struct ChurnLog {
+  std::uint64_t epoch = 0;
+  std::vector<AppliedOp> applied;
+
+  bool empty() const { return applied.empty(); }
 };
 
 struct MonitorConfig {
@@ -203,6 +224,18 @@ class Monitor {
   // round; callable directly for synchronous use (tests, examples).
   void drain_churn();
 
+  // The record of the most recent drained batch (empty before any drain).
+  const ChurnLog& last_churn() const { return last_churn_; }
+
+  // The exact inverse of a drained batch, as a new op list: applied ops in
+  // reverse order, installs undone by removals of their assigned ids,
+  // removals undone by re-installing the saved entry verbatim (same
+  // priority/match/set/action; the id is re-assigned, as all installs are).
+  // Enqueue + drain the result to roll the batch back; the resulting
+  // analysis snapshot is bit-identical to the pre-batch one up to entry-id
+  // renaming (see core::canonical_fingerprint and tests/repair_test.cc).
+  static std::vector<ChurnOp> invert(const ChurnLog& log);
+
   // --- Lifecycle. ---
   // Schedules periodic rounds every config.round_period_s on the event
   // loop. The next round is armed only after the previous one's episode
@@ -213,9 +246,33 @@ class Monitor {
   void stop();
   bool running() const { return running_; }
 
+  // Pausing gates round *execution* without disturbing the scheduling
+  // chain: while paused, scheduled run_round() events return immediately
+  // (the cadence keeps ticking and resumes cleanly on unpause). Used by
+  // repair::RepairEngine so its confirm episodes — which advance the sim
+  // clock — cannot interleave with a monitor episode on the same
+  // controller.
+  void set_paused(bool paused) { paused_ = paused; }
+  bool paused() const { return paused_; }
+
   // One synchronous monitoring round: drain churn, run one FaultLocalizer
   // episode over the current epoch's fixed cover, merge the results.
+  // Returns immediately while paused (see set_paused).
   void run_round();
+
+  // Called at the end of every executed round with that round's record
+  // (newly_flagged tells the hook whether anything needs attention). The
+  // auto-repair stage (repair::AutoRepair) hangs off this. The hook may
+  // enqueue/drain churn and run confirm episodes; it must not call
+  // run_round() reentrantly.
+  using RoundHook = std::function<void(const MonitorRound&)>;
+  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+
+  // Clears a flagged switch after a verified repair: the flag is dropped
+  // from the report, and the probe cover is re-grown over the vertices
+  // vacated when the flag retired their probes (coverage returns to 1.0).
+  // No-op if the switch was not flagged.
+  void mark_repaired(flow::SwitchId sw);
 
   // --- Observation. ---
   // The current epoch's frozen snapshot. Thread-safe: callers get a
@@ -226,6 +283,12 @@ class Monitor {
   const ChurnStats& churn_stats() const { return churn_stats_; }
   const MonitorReport& report() const { return report_; }
   MonitorStatus status() const;
+  // The full DetectionReport of the most recent executed round's episode
+  // (per-probe evidence, suspicion levels, flag culprits — the diagnosis
+  // input). Empty before the first round.
+  const core::DetectionReport& last_detection() const {
+    return last_detection_;
+  }
   // Latest epoch's invariant verification (empty report when disabled).
   const analysis::VerifyReport& last_verify_report() const {
     return last_verify_;
@@ -271,12 +334,16 @@ class Monitor {
   std::uint64_t next_probe_id_ = 1;
   std::vector<ChurnOp> pending_;
   ChurnStats churn_stats_;
+  ChurnLog last_churn_;
+  core::DetectionReport last_detection_;
+  RoundHook round_hook_;
 
   std::unique_ptr<analysis::Verifier> verifier_;  // null when disabled
   analysis::VerifyReport last_verify_;
   VerifySummary verify_summary_;
 
   bool running_ = false;
+  bool paused_ = false;
   std::uint64_t generation_ = 0;  // invalidates queued round events on stop()
   MonitorReport report_;
   std::set<flow::SwitchId> flagged_;

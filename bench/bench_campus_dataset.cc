@@ -11,7 +11,7 @@
 #include "core/mlpc.h"
 #include "core/probe_engine.h"
 #include "flow/campus.h"
-#include "sat/header_encoder.h"
+#include "sat/session.h"
 #include "util/timer.h"
 
 using namespace sdnprobe;
@@ -51,9 +51,11 @@ int main(int argc, char** argv) {
 
   // Per-header SAT synthesis latency over the most-overlapped rules: for
   // each entry whose input space required subtracting overlap chains, solve
-  // for a concrete header with the SAT backend and time it.
+  // for a concrete header through one incremental session (as the probe
+  // engine now does) and time it.
   util::Samples solve_ms;
   int solved = 0;
+  sat::HeaderSession session(rs.header_width());
   for (core::VertexId v = 0; v < graph.vertex_count(); ++v) {
     const flow::EntryId id = graph.entry_of(v);
     const flow::FlowEntry& e = rs.entry(id);
@@ -61,7 +63,7 @@ int main(int argc, char** argv) {
                               .overlapping_above(e);
     if (overlaps.size() < 8) continue;  // only the deep chains are timed
     util::WallTimer t;
-    const auto h = sat::solve_header_in(graph.in_space(v));
+    const auto h = session.find_header(graph.in_space(v));
     if (h.has_value()) {
       solve_ms.add(t.elapsed_millis());
       ++solved;

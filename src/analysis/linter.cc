@@ -7,7 +7,7 @@
 #include <utility>
 #include <vector>
 
-#include "sat/header_encoder.h"
+#include "sat/session.h"
 #include "telemetry/trace.h"
 #include "util/check.h"
 
@@ -432,6 +432,10 @@ void lint_rule_graph(const core::AnalysisSnapshot& snapshot,
   if (config.sat_edge_budget == 0) return;
   std::size_t checked = 0;
   bool truncated = false;
+  // One incremental session serves every edge: each edge space is encoded
+  // behind its own activation guard, and clauses learned discharging one
+  // edge speed up the next (all spaces share the ruleset's header width).
+  std::optional<sat::HeaderSession> session;
   for (core::VertexId u = 0; u < snapshot.vertex_count() && !truncated; ++u) {
     for (const core::VertexId w : snapshot.successors(u)) {
       if (checked == config.sat_edge_budget) {
@@ -441,9 +445,12 @@ void lint_rule_graph(const core::AnalysisSnapshot& snapshot,
       ++checked;
       const hsa::HeaderSpace edge_space =
           snapshot.out_space(u).intersect(snapshot.in_space(w));
+      if (!session.has_value() && !edge_space.is_empty()) {
+        session.emplace(edge_space.width(), config.sat);
+      }
       const bool witness =
           !edge_space.is_empty() &&
-          sat::solve_header_in(edge_space).has_value();
+          session->find_header(edge_space).has_value();
       if (witness) continue;
       Diagnostic d;
       d.severity = Severity::kError;

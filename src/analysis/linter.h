@@ -50,6 +50,7 @@
 #include "analysis/verifier.h"
 #include "core/analysis_snapshot.h"
 #include "flow/ruleset.h"
+#include "sat/solver_config.h"
 
 namespace sdnprobe::analysis {
 
@@ -70,6 +71,9 @@ struct LintConfig {
   // `sat_edge_budget` in deterministic order are checked and an info
   // diagnostic records the truncation.
   std::size_t sat_edge_budget = 512;
+  // Solver knobs for the edge-discharge SAT session (one incremental
+  // session serves every edge of a lint run).
+  sat::SolverConfig sat;
   // Network-wide invariants build_checked_snapshot verifies over the
   // freshly built snapshot (analysis::Verifier); their diagnostics are
   // merged into the lint report. Empty = no verification.

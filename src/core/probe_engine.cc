@@ -34,6 +34,14 @@ struct EngineInstruments {
 
 }  // namespace
 
+sat::HeaderSession& ProbeEngine::session_for(int width) {
+  auto& slot = sessions_[width];
+  if (!slot) {
+    slot = std::make_unique<sat::HeaderSession>(width, config_.sat);
+  }
+  return *slot;
+}
+
 std::optional<hsa::TernaryString> ProbeEngine::pick_unique_header(
     const hsa::HeaderSpace& input_space, util::Rng& rng,
     const TrafficProfile* profile) {
@@ -54,11 +62,13 @@ std::optional<hsa::TernaryString> ProbeEngine::pick_unique_header(
       return h;
     }
   }
-  // Slow path: the SAT solver finds a header in the space differing from
-  // every previously issued header (the paper's MiniSat use, §VI).
+  // Slow path: the engine's persistent SAT session finds a header in the
+  // space differing from every previously issued header (the paper's MiniSat
+  // use, §VI). Guarded forbidden-header clauses and learned clauses carry
+  // over between fallbacks.
   std::vector<hsa::TernaryString> forbidden(used_.begin(), used_.end());
   EngineInstruments::get().sat_fallbacks.add();
-  auto h = sat::solve_header_in(input_space, forbidden);
+  auto h = session_for(input_space.width()).find_header(input_space, forbidden);
   if (h.has_value()) {
     ++stats_.headers_by_sat;
     EngineInstruments::get().committed.add();
@@ -84,7 +94,7 @@ std::optional<hsa::TernaryString> ProbeEngine::commit_unique_header(
   }
   std::vector<hsa::TernaryString> forbidden(used_.begin(), used_.end());
   EngineInstruments::get().sat_fallbacks.add();
-  auto h = sat::solve_header_in(input_space, forbidden);
+  auto h = session_for(input_space.width()).find_header(input_space, forbidden);
   if (h.has_value()) {
     ++stats_.headers_by_sat;
     EngineInstruments::get().committed.add();

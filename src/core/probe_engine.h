@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "core/mlpc.h"
 #include "core/rule_graph.h"
 #include "core/traffic_profile.h"
+#include "sat/session.h"
+#include "sat/solver_config.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -58,6 +62,10 @@ struct ProbeEngineConfig {
   CommonOptions common;
   // Header candidates sampled per path before the SAT fallback.
   int sample_attempts = 16;
+  // Solver knobs for the engine's SAT sessions (budget, restarts,
+  // inprocessing). Replaces the loose conflict-budget parameter the old
+  // sat::solve_header_in API threaded through.
+  sat::SolverConfig sat;
 };
 
 class ProbeEngine {
@@ -107,11 +115,18 @@ class ProbeEngine {
   Probe finish_probe(const std::vector<VertexId>& path,
                      hsa::TernaryString header);
 
+  // The engine's persistent SAT session for the given header width, created
+  // on first use. The SAT fallback only ever runs in serialized phase-B
+  // code, and session answers are canonical (lex-min), so keeping sessions
+  // per engine preserves make_probes' thread-count determinism.
+  sat::HeaderSession& session_for(int width);
+
   const AnalysisSnapshot* snapshot_;
   ProbeEngineConfig config_;
   util::ThreadPool* pool_;
   std::uint64_t next_probe_id_ = 1;
   std::unordered_set<hsa::TernaryString, hsa::TernaryStringHash> used_;
+  std::unordered_map<int, std::unique_ptr<sat::HeaderSession>> sessions_;
   ProbeStats stats_;
 };
 

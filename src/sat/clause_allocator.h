@@ -1,0 +1,181 @@
+// Arena clause storage for the CDCL solver: clauses live contiguously in
+// one std::vector<uint32_t> and are referenced by 32-bit word offsets
+// (ClauseRef) instead of pointers or indices into a std::vector<Clause>.
+// This follows the MiniSat / slavam2605-SATSolver lineage: watcher lists
+// and reason slots store 4-byte refs, clause headers and literals share one
+// allocation, and clause-DB reduction reclaims space with a copying
+// (forwarding-pointer) garbage collector instead of rebuilding every
+// watcher list.
+//
+// Clause layout (uint32 words):
+//   word 0            header: size << 2 | reloced << 1 | learned
+//   word 1            float activity bits (learned clauses only)
+//   word 1+learned..  literals
+//
+// During garbage collection a live clause is copied into the target arena
+// and its header gains the `reloced` bit; the first literal slot then holds
+// the forwarding ClauseRef. Dead clauses are simply never visited.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sat/literal.h"
+
+namespace sdnprobe::sat {
+
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kClauseRefUndef = 0xFFFFFFFFu;
+
+class ClauseAllocator;
+
+// Proxy over one clause. Holds (arena, ref), not a raw pointer, so it stays
+// valid across arena growth within the same allocator.
+class Clause {
+ public:
+  int size() const;
+  bool learned() const;
+  bool reloced() const;
+  Lit operator[](int i) const;
+  Lit& operator[](int i);
+  float activity() const;
+  void set_activity(float a);
+  // Removes the literal at index i (order-preserving; keeps sorted clauses
+  // sorted). The allocator's wasted-word count must be bumped by the caller
+  // via ClauseAllocator::note_shrink().
+  void remove_lit(int i);
+  ClauseRef reloc_target() const;
+  void set_reloc(ClauseRef target);
+
+ private:
+  friend class ClauseAllocator;
+  Clause(ClauseAllocator* ca, ClauseRef ref) : ca_(ca), ref_(ref) {}
+  std::uint32_t& word(int i) const;
+  int lit_offset() const;
+
+  ClauseAllocator* ca_;
+  ClauseRef ref_;
+};
+
+class ClauseAllocator {
+ public:
+  ClauseAllocator() = default;
+
+  template <typename LitContainer>
+  ClauseRef alloc(const LitContainer& lits, bool learned) {
+    assert(lits.size() >= 1);
+    const auto ref = static_cast<ClauseRef>(mem_.size());
+    mem_.push_back(static_cast<std::uint32_t>(lits.size()) << 2 |
+                   (learned ? 1u : 0u));
+    if (learned) mem_.push_back(float_bits(0.0f));
+    for (const Lit l : lits) mem_.push_back(static_cast<std::uint32_t>(l));
+    return ref;
+  }
+
+  Clause deref(ClauseRef ref) {
+    assert(ref < mem_.size());
+    return Clause(this, ref);
+  }
+
+  // Marks the clause's words reclaimable at the next garbage collection.
+  // The caller must already have detached every watcher / reason referring
+  // to it; the words themselves are left in place until collection.
+  void free_clause(ClauseRef ref) {
+    const Clause c = deref(ref);
+    wasted_ += clause_words(c.size(), c.learned());
+  }
+
+  // Accounts for one literal dropped in place by Clause::remove_lit.
+  void note_shrink() { ++wasted_; }
+
+  std::size_t size_words() const { return mem_.size(); }
+  std::size_t wasted_words() const { return wasted_; }
+
+  // Copies the clause into `to` (first visit) or chases the forwarding ref
+  // (subsequent visits), updating `ref` in place.
+  void reloc(ClauseRef& ref, ClauseAllocator& to) {
+    Clause c = deref(ref);
+    if (c.reloced()) {
+      ref = c.reloc_target();
+      return;
+    }
+    const auto target = static_cast<ClauseRef>(to.mem_.size());
+    const int words = clause_words(c.size(), c.learned());
+    to.mem_.insert(to.mem_.end(), mem_.begin() + ref, mem_.begin() + ref + words);
+    c.set_reloc(target);
+    ref = target;
+  }
+
+  void reserve_for_copy(const ClauseAllocator& from) {
+    mem_.reserve(from.size_words() - from.wasted_words());
+  }
+
+  static int clause_words(int size, bool learned) {
+    return 1 + (learned ? 1 : 0) + size;
+  }
+
+  static std::uint32_t float_bits(float f) {
+    std::uint32_t b;
+    std::memcpy(&b, &f, sizeof b);
+    return b;
+  }
+  static float bits_float(std::uint32_t b) {
+    float f;
+    std::memcpy(&f, &b, sizeof f);
+    return f;
+  }
+
+ private:
+  friend class Clause;
+  std::vector<std::uint32_t> mem_;
+  std::size_t wasted_ = 0;
+};
+
+inline std::uint32_t& Clause::word(int i) const {
+  return ca_->mem_[static_cast<std::size_t>(ref_) + static_cast<std::size_t>(i)];
+}
+
+inline int Clause::lit_offset() const { return 1 + (learned() ? 1 : 0); }
+
+inline int Clause::size() const { return static_cast<int>(word(0) >> 2); }
+inline bool Clause::learned() const { return word(0) & 1u; }
+inline bool Clause::reloced() const { return word(0) & 2u; }
+
+inline Lit Clause::operator[](int i) const {
+  assert(i >= 0 && i < size());
+  return static_cast<Lit>(word(lit_offset() + i));
+}
+inline Lit& Clause::operator[](int i) {
+  assert(i >= 0 && i < size());
+  return reinterpret_cast<Lit&>(word(lit_offset() + i));
+}
+
+inline float Clause::activity() const {
+  assert(learned());
+  return ClauseAllocator::bits_float(word(1));
+}
+inline void Clause::set_activity(float a) {
+  assert(learned());
+  word(1) = ClauseAllocator::float_bits(a);
+}
+
+inline void Clause::remove_lit(int i) {
+  const int n = size();
+  assert(n >= 2 && i >= 0 && i < n);
+  const int off = lit_offset();
+  for (int k = i; k + 1 < n; ++k) word(off + k) = word(off + k + 1);
+  word(0) = static_cast<std::uint32_t>(n - 1) << 2 | (word(0) & 3u);
+}
+
+inline ClauseRef Clause::reloc_target() const {
+  assert(reloced());
+  return word(lit_offset());
+}
+inline void Clause::set_reloc(ClauseRef target) {
+  word(0) |= 2u;
+  word(lit_offset()) = target;
+}
+
+}  // namespace sdnprobe::sat

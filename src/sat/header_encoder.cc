@@ -2,13 +2,15 @@
 
 #include <cassert>
 
+#include "sat/session.h"
+
 namespace sdnprobe::sat {
 
 HeaderEncoder::HeaderEncoder(Solver& solver, int width)
     : solver_(solver), width_(width) {
   assert(width >= 0);
   first_var_ = solver_.num_vars();
-  for (int k = 0; k < width; ++k) solver_.new_var();
+  for (int k = 0; k < width; ++k) solver_.new_var(/*frozen=*/true);
 }
 
 Var HeaderEncoder::bit_var(int k) const {
@@ -50,16 +52,35 @@ void HeaderEncoder::require_not_in_cube(const hsa::TernaryString& cube) {
   solver_.add_clause(std::move(clause));
 }
 
-void HeaderEncoder::require_in_space(const hsa::HeaderSpace& space) {
-  if (space.is_empty()) {
-    solver_.add_clause({});  // unsatisfiable, faithfully
-    return;
+void HeaderEncoder::require_not_in_cube_if(Lit activation,
+                                           const hsa::TernaryString& cube) {
+  assert(cube.width() == width_);
+  std::vector<Lit> clause;
+  clause.push_back(negate(activation));
+  for (int k = 0; k < width_; ++k) {
+    switch (cube.get(k)) {
+      case hsa::Trit::kOne:
+        clause.push_back(neg(bit_var(k)));
+        break;
+      case hsa::Trit::kZero:
+        clause.push_back(pos(bit_var(k)));
+        break;
+      case hsa::Trit::kWild:
+        break;
+    }
   }
-  // Selector variable s_i per cube: s_i -> (header in cube_i); ∨ s_i.
-  std::vector<Lit> at_least_one;
+  solver_.add_clause(std::move(clause));
+}
+
+void HeaderEncoder::add_space_clauses(std::vector<Lit> disjunction_prefix,
+                                      const hsa::HeaderSpace& space) {
+  // Selector variable s_i per cube: s_i -> (header in cube_i), plus the
+  // (possibly guarded) disjunction prefix ∨ s_1 ∨ ... ∨ s_n. Selectors are
+  // frozen: the session solver assumes guards long after these clauses are
+  // added, and elimination of a selector would break the retraction story.
   for (const auto& cube : space.cubes()) {
-    const Var s = solver_.new_var();
-    at_least_one.push_back(pos(s));
+    const Var s = solver_.new_var(/*frozen=*/true);
+    disjunction_prefix.push_back(pos(s));
     for (int k = 0; k < width_; ++k) {
       switch (cube.get(k)) {
         case hsa::Trit::kOne:
@@ -73,7 +94,18 @@ void HeaderEncoder::require_in_space(const hsa::HeaderSpace& space) {
       }
     }
   }
-  solver_.add_clause(std::move(at_least_one));
+  solver_.add_clause(std::move(disjunction_prefix));
+}
+
+void HeaderEncoder::require_in_space(const hsa::HeaderSpace& space) {
+  // An empty space yields the empty clause: unsatisfiable, faithfully.
+  add_space_clauses({}, space);
+}
+
+void HeaderEncoder::require_in_space_if(Lit activation,
+                                        const hsa::HeaderSpace& space) {
+  // An empty space yields (¬activation): unsatisfiable only under the guard.
+  add_space_clauses({negate(activation)}, space);
 }
 
 void HeaderEncoder::require_not_in_space(const hsa::HeaderSpace& space) {
@@ -97,13 +129,18 @@ hsa::TernaryString HeaderEncoder::extract_model() const {
 std::optional<hsa::TernaryString> solve_header_in(
     const hsa::HeaderSpace& space,
     const std::vector<hsa::TernaryString>& forbidden_headers,
+    const SolverConfig& config) {
+  HeaderSession session(space.width(), config);
+  return session.find_header(space, forbidden_headers);
+}
+
+std::optional<hsa::TernaryString> solve_header_in(
+    const hsa::HeaderSpace& space,
+    const std::vector<hsa::TernaryString>& forbidden_headers,
     std::int64_t conflict_budget) {
-  Solver solver;
-  HeaderEncoder enc(solver, space.width());
-  enc.require_in_space(space);
-  for (const auto& h : forbidden_headers) enc.require_differs_from(h);
-  if (solver.solve(conflict_budget) != Result::kSat) return std::nullopt;
-  return enc.extract_model();
+  SolverConfig config;
+  config.conflict_budget = conflict_budget;
+  return solve_header_in(space, forbidden_headers, config);
 }
 
 }  // namespace sdnprobe::sat

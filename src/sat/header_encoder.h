@@ -7,6 +7,14 @@
 //  2. §VI: find a *unique* probe header u that matches the tested entries but
 //     no other entry on the path's switches and differs from all previously
 //     chosen probe headers.
+//
+// Constraints come in two flavours:
+//  - unconditional (require_*): permanent clauses, the one-shot shape;
+//  - guarded (require_*_if): clauses of the form (¬g ∨ ...) that only bite
+//    while the activation literal g is assumed. sat::HeaderSession keeps one
+//    incremental Solver alive across thousands of queries and scopes each
+//    query's space/forbidden-header constraints with such guards, so learned
+//    clauses carry over while retracted constraints cost nothing.
 #pragma once
 
 #include <optional>
@@ -20,10 +28,14 @@ namespace sdnprobe::sat {
 // Owns one Boolean variable per header bit within a caller-provided Solver.
 // Multiple encoders over one solver are allowed (e.g. joint constraints on
 // several headers), each with its own bit variables.
+//
+// Every variable the encoder allocates (bits and Tseitin selectors) is
+// frozen: bit variables appear in later assumptions, selectors in later
+// guarded clauses, and inprocessing must never eliminate either.
 class HeaderEncoder {
  public:
-  // Allocates `width` fresh bit variables in `solver`. H[k] == 1 corresponds
-  // to bit_var(k) being true.
+  // Allocates `width` fresh (frozen) bit variables in `solver`. H[k] == 1
+  // corresponds to bit_var(k) being true.
   HeaderEncoder(Solver& solver, int width);
 
   int width() const { return width_; }
@@ -37,8 +49,17 @@ class HeaderEncoder {
   // is encoded faithfully (an empty clause).
   void require_not_in_cube(const hsa::TernaryString& cube);
 
+  // activation -> header ∉ cube. A fully-wildcard cube yields the clause
+  // (¬activation): assuming the guard then makes the query unsatisfiable,
+  // again faithfully.
+  void require_not_in_cube_if(Lit activation, const hsa::TernaryString& cube);
+
   // header ∈ (union of cubes): Tseitin selector per cube.
   void require_in_space(const hsa::HeaderSpace& space);
+
+  // activation -> header ∈ space (selector encoding with the disjunction
+  // clause guarded). An empty space yields (¬activation).
+  void require_in_space_if(Lit activation, const hsa::HeaderSpace& space);
 
   // header ∉ every cube of the space.
   void require_not_in_space(const hsa::HeaderSpace& space);
@@ -50,17 +71,33 @@ class HeaderEncoder {
   hsa::TernaryString extract_model() const;
 
  private:
+  void add_space_clauses(std::vector<Lit> disjunction_prefix,
+                         const hsa::HeaderSpace& space);
+
   Solver& solver_;
   int width_;
   Var first_var_;
 };
 
 // One-shot helper: find a concrete header inside `space`, excluding any of
-// `forbidden` (may be empty). Returns nullopt when unsatisfiable or the
-// conflict budget is exhausted.
+// `forbidden_headers` (may be empty). Returns nullopt when unsatisfiable or
+// when config.conflict_budget is exhausted. Built on a throwaway
+// sat::HeaderSession, so the answer is the same canonical (lexicographically
+// smallest) header a persistent session would produce — callers issuing many
+// queries at one width should hold a HeaderSession instead.
 std::optional<hsa::TernaryString> solve_header_in(
     const hsa::HeaderSpace& space,
     const std::vector<hsa::TernaryString>& forbidden_headers = {},
-    std::int64_t conflict_budget = -1);
+    const SolverConfig& config = {});
+
+// Transitional overload for the pre-session API that threaded a loose
+// conflict-budget integer; the budget now lives in SolverConfig.
+[[deprecated(
+    "pass a sat::SolverConfig (or hold a sat::HeaderSession) instead of a "
+    "loose conflict budget")]]
+std::optional<hsa::TernaryString> solve_header_in(
+    const hsa::HeaderSpace& space,
+    const std::vector<hsa::TernaryString>& forbidden_headers,
+    std::int64_t conflict_budget);
 
 }  // namespace sdnprobe::sat

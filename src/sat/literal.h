@@ -1,0 +1,22 @@
+// Literal / variable encoding shared by the sat:: subsystem (MiniSat
+// convention): variable v >= 0; positive literal 2*v, negative literal
+// 2*v+1. Split out of solver.h so the clause arena and the branching heap
+// can be included without pulling in the whole solver.
+#pragma once
+
+namespace sdnprobe::sat {
+
+using Var = int;
+using Lit = int;
+
+constexpr Var kVarUndef = -1;
+constexpr Lit kLitUndef = -2;
+
+constexpr Lit make_lit(Var v, bool negated) { return 2 * v + (negated ? 1 : 0); }
+constexpr Lit pos(Var v) { return 2 * v; }
+constexpr Lit neg(Var v) { return 2 * v + 1; }
+constexpr Var var_of(Lit l) { return l >> 1; }
+constexpr bool is_negated(Lit l) { return l & 1; }
+constexpr Lit negate(Lit l) { return l ^ 1; }
+
+}  // namespace sdnprobe::sat

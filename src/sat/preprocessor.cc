@@ -1,0 +1,417 @@
+#include "sat/preprocessor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sat/solver.h"
+
+namespace sdnprobe::sat {
+
+std::uint64_t Preprocessor::signature(ClauseRef cr) {
+  const Clause c = s_.ca_.deref(cr);
+  std::uint64_t sig = 0;
+  for (int i = 0; i < c.size(); ++i) {
+    sig |= 1ull << (var_of(c[i]) & 63);
+  }
+  return sig;
+}
+
+bool Preprocessor::add_fact(Lit l) {
+  const std::uint8_t val = s_.lit_value(l);
+  if (val == Solver::kTrue) return true;
+  if (val == Solver::kFalse) {
+    s_.ok_ = false;
+    return false;
+  }
+  s_.enqueue(l, kClauseRefUndef);
+  return true;
+}
+
+void Preprocessor::mark_dead(int idx) {
+  Entry& e = cls_[static_cast<std::size_t>(idx)];
+  assert(!e.dead);
+  e.dead = true;
+  s_.ca_.free_clause(e.cr);
+}
+
+void Preprocessor::push_work(int idx) {
+  if (in_work_[static_cast<std::size_t>(idx)]) return;
+  in_work_[static_cast<std::size_t>(idx)] = 1;
+  work_.push_back(idx);
+}
+
+void Preprocessor::load() {
+  occ_.assign(static_cast<std::size_t>(s_.num_vars()), {});
+  cls_.reserve(s_.clauses_.size());
+  std::vector<Lit> tmp;
+  for (const ClauseRef cr : s_.clauses_) {
+    Clause c = s_.ca_.deref(cr);
+    bool satisfied = false;
+    for (int k = 0; k < c.size() && !satisfied; ++k) {
+      satisfied = s_.lit_value(c[k]) == Solver::kTrue;
+    }
+    if (satisfied) {
+      s_.ca_.free_clause(cr);
+      continue;
+    }
+    for (int k = c.size() - 1; k >= 0; --k) {
+      if (s_.lit_value(c[k]) == Solver::kFalse) {
+        c.remove_lit(k);
+        s_.ca_.note_shrink();
+      }
+    }
+    // The solver was at a propagation fixpoint, so an unsatisfied clause
+    // keeps at least two unassigned literals.
+    assert(c.size() >= 2);
+    // Restore sorted order (watched-literal swaps scrambled it); watcher
+    // lists are already cleared, so positions are free to change.
+    tmp.clear();
+    for (int k = 0; k < c.size(); ++k) tmp.push_back(c[k]);
+    std::sort(tmp.begin(), tmp.end());
+    for (int k = 0; k < c.size(); ++k) c[k] = tmp[static_cast<std::size_t>(k)];
+
+    const int idx = static_cast<int>(cls_.size());
+    cls_.push_back(Entry{cr, signature(cr), false});
+    in_work_.push_back(0);
+    for (int k = 0; k < c.size(); ++k) {
+      occ_[static_cast<std::size_t>(var_of(c[k]))].push_back(idx);
+    }
+    push_work(idx);
+  }
+  fact_head_ = s_.trail_.size();
+}
+
+void Preprocessor::process_facts() {
+  while (s_.ok_ && fact_head_ < s_.trail_.size()) {
+    const Lit p = s_.trail_[fact_head_++];
+    const Var v = var_of(p);
+    for (const int idx : occ_[static_cast<std::size_t>(v)]) {
+      Entry& e = cls_[static_cast<std::size_t>(idx)];
+      if (e.dead) continue;
+      Clause c = s_.ca_.deref(e.cr);
+      int at = -1;
+      bool satisfied = false;
+      for (int k = 0; k < c.size(); ++k) {
+        if (c[k] == p) {
+          satisfied = true;
+          break;
+        }
+        if (c[k] == negate(p)) {
+          at = k;
+          break;
+        }
+      }
+      if (satisfied) {
+        mark_dead(idx);
+        continue;
+      }
+      if (at < 0) continue;  // stale occurrence (literal already removed)
+      c.remove_lit(at);
+      s_.ca_.note_shrink();
+      e.sig = signature(e.cr);
+      if (c.size() == 1) {
+        add_fact(c[0]);
+        mark_dead(idx);
+        if (!s_.ok_) return;
+      } else {
+        push_work(idx);
+      }
+    }
+    occ_[static_cast<std::size_t>(v)].clear();  // v is fixed for good
+  }
+}
+
+int Preprocessor::subsume_check(Clause c, Clause d, Lit* out) {
+  // Merge-walk over two sorted clauses: every literal of c must occur in d,
+  // allowing at most one to occur negated (the self-subsumption pivot).
+  int flips = 0;
+  Lit flip = kLitUndef;
+  int j = 0;
+  const int cn = c.size();
+  const int dn = d.size();
+  for (int i = 0; i < cn; ++i) {
+    const Lit lc = c[i];
+    const Lit base = lc & ~1;  // both polarities of var_of(lc) sort here
+    while (j < dn && d[j] < base) ++j;
+    if (j >= dn) return 0;
+    if (d[j] == lc) continue;
+    if (d[j] == (lc ^ 1)) {
+      if (++flips > 1) return 0;
+      flip = d[j];
+      continue;
+    }
+    return 0;
+  }
+  if (flips == 0) return 1;
+  *out = flip;
+  return 2;
+}
+
+void Preprocessor::strengthen(int idx, Lit l) {
+  Entry& e = cls_[static_cast<std::size_t>(idx)];
+  Clause c = s_.ca_.deref(e.cr);
+  for (int k = 0; k < c.size(); ++k) {
+    if (c[k] == l) {
+      c.remove_lit(k);
+      s_.ca_.note_shrink();
+      break;
+    }
+  }
+  ++s_.stats_.strengthened;
+  e.sig = signature(e.cr);
+  if (c.size() == 1) {
+    add_fact(c[0]);
+    mark_dead(idx);
+  } else {
+    push_work(idx);
+  }
+}
+
+bool Preprocessor::subsume_fixpoint() {
+  while (s_.ok_ && work_head_ < work_.size()) {
+    process_facts();
+    if (!s_.ok_) break;
+    const int ci = work_[work_head_++];
+    in_work_[static_cast<std::size_t>(ci)] = 0;
+    const Entry& e = cls_[static_cast<std::size_t>(ci)];
+    if (e.dead) continue;
+    Clause c = s_.ca_.deref(e.cr);
+    // Scan candidates through the sparsest occurrence list among c's vars.
+    Var best = var_of(c[0]);
+    for (int k = 1; k < c.size(); ++k) {
+      const Var v = var_of(c[k]);
+      if (occ_[static_cast<std::size_t>(v)].size() <
+          occ_[static_cast<std::size_t>(best)].size()) {
+        best = v;
+      }
+    }
+    // Strengthening below may append to work_ but never to occ lists, so
+    // index-based iteration over a stable snapshot boundary is safe.
+    const auto& candidates = occ_[static_cast<std::size_t>(best)];
+    for (std::size_t n = 0; n < candidates.size(); ++n) {
+      const int di = candidates[n];
+      if (di == ci) continue;
+      Entry& de = cls_[static_cast<std::size_t>(di)];
+      if (de.dead) continue;
+      Clause d = s_.ca_.deref(de.cr);
+      if (d.size() < c.size()) continue;
+      if (e.sig & ~de.sig) continue;  // some var of c is missing from d
+      Lit pivot = kLitUndef;
+      const int r = subsume_check(c, d, &pivot);
+      if (r == 1) {
+        mark_dead(di);
+        ++s_.stats_.subsumed;
+      } else if (r == 2) {
+        strengthen(di, pivot);
+        if (!s_.ok_) return false;
+      }
+    }
+  }
+  process_facts();
+  return s_.ok_;
+}
+
+bool Preprocessor::resolve(int pos_idx, int neg_idx, Var v,
+                           std::vector<Lit>& out) {
+  out.clear();
+  for (const int idx : {pos_idx, neg_idx}) {
+    const Clause c =
+        s_.ca_.deref(cls_[static_cast<std::size_t>(idx)].cr);
+    for (int k = 0; k < c.size(); ++k) {
+      if (var_of(c[k]) != v) out.push_back(c[k]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  for (std::size_t k = 0; k + 1 < out.size(); ++k) {
+    if ((out[k] ^ 1) == out[k + 1]) return false;  // tautology: w and ¬w
+  }
+  return true;
+}
+
+void Preprocessor::add_resolvent(const std::vector<Lit>& lits) {
+  if (lits.size() == 1) {
+    add_fact(lits[0]);
+    return;
+  }
+  const ClauseRef cr = s_.ca_.alloc(lits, /*learned=*/false);
+  const int idx = static_cast<int>(cls_.size());
+  cls_.push_back(Entry{cr, signature(cr), false});
+  in_work_.push_back(0);
+  for (const Lit l : lits) {
+    occ_[static_cast<std::size_t>(var_of(l))].push_back(idx);
+  }
+  push_work(idx);
+}
+
+bool Preprocessor::try_eliminate(Var v) {
+  if (s_.frozen_[static_cast<std::size_t>(v)] ||
+      s_.eliminated_[static_cast<std::size_t>(v)] ||
+      assumed_[static_cast<std::size_t>(v)] ||
+      s_.assigns_[static_cast<std::size_t>(v)] != Solver::kUndef) {
+    return false;
+  }
+  const Lit pv = make_lit(v, false);
+  std::vector<int> pos;
+  std::vector<int> neg;
+  for (const int idx : occ_[static_cast<std::size_t>(v)]) {
+    const Entry& e = cls_[static_cast<std::size_t>(idx)];
+    if (e.dead) continue;
+    const Clause c = s_.ca_.deref(e.cr);
+    for (int k = 0; k < c.size(); ++k) {
+      if (var_of(c[k]) == v) {
+        (is_negated(c[k]) ? neg : pos).push_back(idx);
+        break;
+      }
+    }
+  }
+  const std::size_t total = pos.size() + neg.size();
+  if (total > static_cast<std::size_t>(s_.config_.elim_max_occurrences)) {
+    return false;
+  }
+  // Gather resolvents; abandon on any oversized one or on net growth.
+  std::vector<std::vector<Lit>> resolvents;
+  std::vector<Lit> tmp;
+  for (const int pi : pos) {
+    for (const int ni : neg) {
+      if (!resolve(pi, ni, v, tmp)) continue;
+      if (tmp.size() >
+          static_cast<std::size_t>(s_.config_.elim_max_resolvent)) {
+        return false;
+      }
+      resolvents.push_back(tmp);
+      if (resolvents.size() > total) return false;
+    }
+  }
+  // Commit: save the smaller occurrence side for model extension. Each
+  // record is one saved clause with the v-literal (witness) first; a final
+  // one-literal record supplies the default opposite phase. extend_model
+  // walks records backwards, so the default is applied first and any saved
+  // clause left unsatisfied flips the witness true.
+  const bool save_pos = pos.size() <= neg.size();
+  const Lit witness = save_pos ? pv : negate(pv);
+  for (const int idx : save_pos ? pos : neg) {
+    const Clause c = s_.ca_.deref(cls_[static_cast<std::size_t>(idx)].cr);
+    s_.elim_extend_.push_back(static_cast<std::uint32_t>(witness));
+    for (int k = 0; k < c.size(); ++k) {
+      if (var_of(c[k]) != v) {
+        s_.elim_extend_.push_back(static_cast<std::uint32_t>(c[k]));
+      }
+    }
+    s_.elim_extend_.push_back(static_cast<std::uint32_t>(c.size()));
+  }
+  s_.elim_extend_.push_back(static_cast<std::uint32_t>(negate(witness)));
+  s_.elim_extend_.push_back(1u);
+
+  for (const int idx : pos) mark_dead(idx);
+  for (const int idx : neg) mark_dead(idx);
+  occ_[static_cast<std::size_t>(v)].clear();
+  s_.eliminated_[static_cast<std::size_t>(v)] = 1;
+  s_.order_.remove(v);
+  ++s_.stats_.eliminated_vars;
+  for (const auto& r : resolvents) add_resolvent(r);
+  return true;
+}
+
+int Preprocessor::eliminate_sweep() {
+  int eliminated = 0;
+  for (Var v = 0; v < s_.num_vars() && s_.ok_; ++v) {
+    process_facts();
+    if (!s_.ok_) break;
+    if (try_eliminate(v)) ++eliminated;
+  }
+  return eliminated;
+}
+
+void Preprocessor::sweep_learnts() {
+  std::size_t j = 0;
+  for (const ClauseRef cr : s_.learnts_) {
+    Clause c = s_.ca_.deref(cr);
+    bool drop = false;
+    for (int k = 0; k < c.size() && !drop; ++k) {
+      drop = s_.lit_value(c[k]) == Solver::kTrue ||
+             s_.eliminated_[static_cast<std::size_t>(var_of(c[k]))] != 0;
+    }
+    if (!drop) {
+      for (int k = c.size() - 1; k >= 0; --k) {
+        if (s_.lit_value(c[k]) == Solver::kFalse) {
+          c.remove_lit(k);
+          s_.ca_.note_shrink();
+        }
+      }
+      if (c.size() == 0) {
+        // A learned clause is implied by the formula; all-false at level 0
+        // proves unsatisfiability.
+        s_.ok_ = false;
+        return;
+      }
+      if (c.size() == 1) {
+        add_fact(c[0]);
+        drop = true;
+        if (!s_.ok_) return;
+      }
+    }
+    if (drop) {
+      s_.ca_.free_clause(cr);
+      ++s_.stats_.learned_removed;
+    } else {
+      s_.learnts_[j++] = cr;
+    }
+  }
+  s_.learnts_.resize(j);
+}
+
+bool Preprocessor::finalize() {
+  // Learned-clause sweeping can surface new facts, which in turn must be
+  // pushed through the original DB (and may shrink more learnts): iterate
+  // to a joint fixpoint.
+  for (;;) {
+    process_facts();
+    if (!s_.ok_) return false;
+    const std::size_t before = s_.trail_.size();
+    sweep_learnts();
+    if (!s_.ok_) return false;
+    if (s_.trail_.size() == before) break;
+  }
+  s_.clauses_.clear();
+  for (const Entry& e : cls_) {
+    if (!e.dead) s_.clauses_.push_back(e.cr);
+  }
+  for (const ClauseRef cr : s_.clauses_) s_.attach_clause(cr);
+  for (const ClauseRef cr : s_.learnts_) s_.attach_clause(cr);
+  // Everything on the trail has been pushed through occurrence lists and
+  // the learnt sweep, so the rebuilt watches are at a fixpoint already.
+  s_.qhead_ = s_.trail_.size();
+  s_.simp_trail_head_ = s_.trail_.size();
+  s_.maybe_garbage_collect();
+  return true;
+}
+
+bool Preprocessor::run() {
+  assert(s_.decision_level() == 0);
+  if (!s_.ok_) return false;
+  if (s_.propagate() != kClauseRefUndef) {
+    s_.ok_ = false;
+    return false;
+  }
+  // Take ownership of the clause DB: watcher lists are rebuilt from scratch
+  // in finalize(), and level-0 reasons are never consulted again.
+  for (auto& ws : s_.watches_) ws.clear();
+  for (const Lit l : s_.trail_) {
+    s_.reason_[static_cast<std::size_t>(var_of(l))] = kClauseRefUndef;
+  }
+  assumed_.assign(static_cast<std::size_t>(s_.num_vars()), 0);
+  for (const Lit a : s_.assumptions_) {
+    assumed_[static_cast<std::size_t>(var_of(a))] = 1;
+  }
+  load();
+  int eliminated;
+  do {
+    if (!subsume_fixpoint()) return false;
+    eliminated = eliminate_sweep();
+    if (!s_.ok_) return false;
+  } while (eliminated > 0);
+  return finalize();
+}
+
+}  // namespace sdnprobe::sat

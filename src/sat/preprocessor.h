@@ -1,0 +1,74 @@
+// Inprocessing for the CDCL solver (MiniSat-simp lineage), run between
+// solves at decision level 0:
+//
+//  - satisfied-clause sweep and level-0 strengthening of the original DB,
+//  - backward subsumption and self-subsuming resolution driven by a
+//    worklist with 64-bit variable signatures,
+//  - bounded top-level variable elimination (resolve the positive against
+//    the negative occurrences, keep only when nothing grows) with model
+//    extension records so eliminated variables still get model values.
+//
+// Frozen variables — anything a caller will mention again in clauses or
+// assumptions, e.g. every HeaderSession bit/selector/guard variable — are
+// never eliminated. There is deliberately no pure-literal rule: activation
+// guards occur only negatively in guarded constraints yet must remain
+// assumable in both polarities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/clause_allocator.h"
+#include "sat/literal.h"
+
+namespace sdnprobe::sat {
+
+class Solver;
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(Solver& solver) : s_(solver) {}
+
+  // Runs one pass to fixpoint. Returns false (and marks the solver not-okay)
+  // when the formula is proven unsatisfiable. On success the solver's
+  // clause DB, watcher lists, and trail are left consistent and propagated.
+  bool run();
+
+ private:
+  // One live original clause in the working set. `sig` is a Bloom-style
+  // signature (bit per var mod 64) used to cheaply refute subset tests.
+  struct Entry {
+    ClauseRef cr;
+    std::uint64_t sig;
+    bool dead;
+  };
+
+  std::uint64_t signature(ClauseRef cr);
+  bool add_fact(Lit l);
+  void mark_dead(int idx);
+  void push_work(int idx);
+  void load();
+  void process_facts();
+  // Returns 1 when c subsumes d, 2 when d can be strengthened by removing
+  // *out (self-subsuming resolution), 0 otherwise. Both must be sorted.
+  int subsume_check(Clause c, Clause d, Lit* out);
+  void strengthen(int idx, Lit l);
+  bool subsume_fixpoint();
+  int eliminate_sweep();
+  bool try_eliminate(Var v);
+  bool resolve(int pos_idx, int neg_idx, Var v, std::vector<Lit>& out);
+  void add_resolvent(const std::vector<Lit>& lits);
+  void sweep_learnts();
+  bool finalize();
+
+  Solver& s_;
+  std::vector<Entry> cls_;
+  std::vector<std::vector<int>> occ_;  // var -> indices into cls_
+  std::vector<int> work_;              // FIFO subsumption worklist
+  std::size_t work_head_ = 0;
+  std::vector<std::uint8_t> in_work_;
+  std::vector<std::uint8_t> assumed_;  // vars assumed by the current solve
+  std::size_t fact_head_ = 0;          // trail prefix already pushed through occ_
+};
+
+}  // namespace sdnprobe::sat

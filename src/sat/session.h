@@ -1,0 +1,80 @@
+// sat::HeaderSession — a persistent incremental SAT session for per-header
+// queries, the centerpiece of the sat:: API redesign.
+//
+// The paper's pipeline issues thousands of tiny SAT queries per run: one per
+// rule for §V-A input-space membership, one per probe for §VI unique-header
+// selection, one per edge for the linter's reachability cross-check. The old
+// API built a fresh Solver per query, discarding everything the search
+// learned. A HeaderSession instead owns ONE Solver + HeaderEncoder per
+// header width for its whole lifetime:
+//
+//  - each query's constraints (the target space, the forbidden headers) are
+//    added once as guarded clauses (¬g ∨ ...) and activated by assuming g,
+//    so they retract for free and re-arm on cache hit;
+//  - learned clauses are implied by the formula alone — assumptions are
+//    decisions, never antecedent-free facts — so they remain valid and keep
+//    accelerating every later query;
+//  - guards, selectors, and bit variables are frozen, which keeps solver
+//    inprocessing from eliminating anything a future query will mention.
+//
+// Canonical answers. find_header returns the *lexicographically smallest*
+// concrete header of (space − forbidden), located by fixing bits H[0..L-1]
+// low-to-high through assumptions (a solve is skipped whenever the current
+// witness already has the bit at 0). Lex-min is a pure function of the query
+// set, so a long-lived session, a throwaway session (the solve_header_in
+// compat wrapper), and any interleaving of queries all return identical
+// headers — this is what keeps probe generation bit-identical across thread
+// counts and against the one-shot baseline. The only exception is a finite
+// conflict_budget in the session's SolverConfig: a query that exhausts it
+// mid-canonicalization still returns a valid member, just not necessarily
+// the smallest one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hsa/header_space.h"
+#include "hsa/ternary.h"
+#include "sat/header_encoder.h"
+#include "sat/solver.h"
+#include "sat/solver_config.h"
+
+namespace sdnprobe::sat {
+
+class HeaderSession {
+ public:
+  explicit HeaderSession(int width, SolverConfig config = {});
+
+  int width() const { return enc_.width(); }
+
+  // Finds the lexicographically smallest concrete header that lies in
+  // `space` and differs from every (concrete) header in `forbidden`.
+  // Returns nullopt when no such header exists, or when the configured
+  // conflict budget ran out before feasibility was established.
+  std::optional<hsa::TernaryString> find_header(
+      const hsa::HeaderSpace& space,
+      const std::vector<hsa::TernaryString>& forbidden = {});
+
+  // Session counters, exposed for the §VIII-A bench.
+  std::uint64_t queries() const { return queries_; }
+  const Solver& solver() const { return solver_; }
+
+ private:
+  // Returns the activation literal for the constraint, encoding it on first
+  // use and reusing the cached guard on every later query that names the
+  // same space / header.
+  Lit space_guard(const hsa::HeaderSpace& space);
+  Lit forbid_guard(const hsa::TernaryString& header);
+
+  Solver solver_;
+  HeaderEncoder enc_;
+  std::unordered_map<std::string, Lit> space_guards_;
+  std::unordered_map<hsa::TernaryString, Lit, hsa::TernaryStringHash>
+      forbid_guards_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace sdnprobe::sat

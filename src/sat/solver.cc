@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
+#include "sat/preprocessor.h"
 #include "telemetry/metrics.h"
 
 namespace sdnprobe::sat {
@@ -27,6 +29,8 @@ class SolveStatsPublisher {
     reg.counter("sat.restarts").add(stats_.restarts - before_.restarts);
     reg.counter("sat.learned_clauses")
         .add(stats_.learned_clauses - before_.learned_clauses);
+    reg.histogram("sat.solve.conflicts")
+        .record(static_cast<double>(stats_.conflicts - before_.conflicts));
   }
 
  private:
@@ -36,16 +40,20 @@ class SolveStatsPublisher {
 
 }  // namespace
 
-Var Solver::new_var() {
+Var Solver::new_var(bool frozen) {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(kUndef);
-  reason_.push_back(-1);
+  reason_.push_back(kClauseRefUndef);
   level_.push_back(0);
   activity_.push_back(0.0);
   polarity_.push_back(1);  // default phase: prefer false (common heuristic)
+  frozen_.push_back(frozen ? 1 : 0);
+  eliminated_.push_back(0);
   seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  order_.grow(v + 1);
+  order_.insert(v);
   return v;
 }
 
@@ -56,11 +64,13 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   std::sort(lits.begin(), lits.end());
   std::vector<Lit> cleaned;
   cleaned.reserve(lits.size());
-  Lit prev = -1;
-  for (Lit l : lits) {
+  Lit prev = kLitUndef;
+  for (const Lit l : lits) {
     assert(var_of(l) < num_vars());
+    assert(!eliminated_[static_cast<std::size_t>(var_of(l))] &&
+           "clause references an eliminated variable; freeze() it");
     if (l == prev) continue;
-    if (prev >= 0 && l == negate(prev) && var_of(l) == var_of(prev)) {
+    if (prev >= 0 && l == negate(prev)) {
       return true;  // tautology: contains v and ¬v
     }
     const std::uint8_t val = lit_value(l);
@@ -74,40 +84,79 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     return false;
   }
   if (cleaned.size() == 1) {
-    enqueue(cleaned[0], -1);
-    if (propagate() != -1) {
+    enqueue(cleaned[0], kClauseRefUndef);
+    if (propagate() != kClauseRefUndef) {
       ok_ = false;
       return false;
     }
     return true;
   }
-  clauses_.push_back(Clause{std::move(cleaned), /*learned=*/false, 0.0});
-  attach_clause(static_cast<int>(clauses_.size()) - 1);
+  const ClauseRef cr = ca_.alloc(cleaned, /*learned=*/false);
+  clauses_.push_back(cr);
+  attach_clause(cr);
+  ++clauses_since_inprocess_;
   return true;
 }
 
-void Solver::attach_clause(int ci) {
-  const auto& c = clauses_[static_cast<std::size_t>(ci)].lits;
+void Solver::attach_clause(ClauseRef cr) {
+  const Clause c = ca_.deref(cr);
   assert(c.size() >= 2);
   watches_[static_cast<std::size_t>(negate(c[0]))].push_back(
-      Watcher{ci, c[1]});
+      Watcher{cr, c[1]});
   watches_[static_cast<std::size_t>(negate(c[1]))].push_back(
-      Watcher{ci, c[0]});
+      Watcher{cr, c[0]});
 }
 
-void Solver::enqueue(Lit l, int reason) {
+void Solver::detach_clause(ClauseRef cr) {
+  const Clause c = ca_.deref(cr);
+  for (const Lit w : {c[0], c[1]}) {
+    auto& ws = watches_[static_cast<std::size_t>(negate(w))];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cr) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::is_locked(const Clause& c, ClauseRef cr) const {
+  const Var v = var_of(c[0]);
+  return assigns_[static_cast<std::size_t>(v)] != kUndef &&
+         reason_[static_cast<std::size_t>(v)] == cr &&
+         lit_value(c[0]) == kTrue;
+}
+
+void Solver::remove_clause(ClauseRef cr) {
+  const Clause c = ca_.deref(cr);
+  detach_clause(cr);
+  if (is_locked(c, cr)) {
+    // Only happens at level 0 (reduce/simplify run there): the assignment
+    // is permanent, so the reason record is never consulted again.
+    reason_[static_cast<std::size_t>(var_of(c[0]))] = kClauseRefUndef;
+  }
+  ca_.free_clause(cr);
+}
+
+bool Solver::clause_satisfied(const Clause& c) const {
+  for (int k = 0; k < c.size(); ++k) {
+    if (lit_value(c[k]) == kTrue) return true;
+  }
+  return false;
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
   const Var v = var_of(l);
   assert(assigns_[static_cast<std::size_t>(v)] == kUndef);
-  assigns_[static_cast<std::size_t>(v)] =
-      is_negated(l) ? kFalse : kTrue;
+  assigns_[static_cast<std::size_t>(v)] = is_negated(l) ? kFalse : kTrue;
   reason_[static_cast<std::size_t>(v)] = reason;
-  level_[static_cast<std::size_t>(v)] =
-      static_cast<int>(trail_lim_.size());
+  level_[static_cast<std::size_t>(v)] = decision_level();
   polarity_[static_cast<std::size_t>(v)] = is_negated(l) ? 1 : 0;
   trail_.push_back(l);
 }
 
-int Solver::propagate() {
+ClauseRef Solver::propagate() {
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
@@ -119,24 +168,29 @@ int Solver::propagate() {
         ws[j++] = ws[i++];
         continue;
       }
-      auto& c = clauses_[static_cast<std::size_t>(w.clause_index)].lits;
+      Clause c = ca_.deref(w.cref);
       // Ensure the falsified literal (negate(p)) sits at position 1.
       const Lit false_lit = negate(p);
-      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      if (c[0] == false_lit) {
+        c[0] = c[1];
+        c[1] = false_lit;
+      }
       assert(c[1] == false_lit);
       // If the other watch is true, the clause is satisfied.
-      if (lit_value(c[0]) == kTrue) {
-        ws[j++] = Watcher{w.clause_index, c[0]};
+      const Lit first = c[0];
+      if (lit_value(first) == kTrue) {
+        ws[j++] = Watcher{w.cref, first};
         ++i;
         continue;
       }
       // Look for a new literal to watch.
       bool moved = false;
-      for (std::size_t k = 2; k < c.size(); ++k) {
+      for (int k = 2; k < c.size(); ++k) {
         if (lit_value(c[k]) != kFalse) {
-          std::swap(c[1], c[k]);
+          c[1] = c[k];
+          c[k] = false_lit;
           watches_[static_cast<std::size_t>(negate(c[1]))].push_back(
-              Watcher{w.clause_index, c[0]});
+              Watcher{w.cref, first});
           moved = true;
           break;
         }
@@ -146,19 +200,19 @@ int Solver::propagate() {
         continue;
       }
       // Clause is unit or conflicting.
-      if (lit_value(c[0]) == kFalse) {
+      if (lit_value(first) == kFalse) {
         // Conflict: restore remaining watchers and report.
         while (i < ws.size()) ws[j++] = ws[i++];
         ws.resize(j);
         qhead_ = trail_.size();
-        return w.clause_index;
+        return w.cref;
       }
-      enqueue(c[0], w.clause_index);
+      enqueue(first, w.cref);
       ws[j++] = ws[i++];
     }
     ws.resize(j);
   }
-  return -1;
+  return kClauseRefUndef;
 }
 
 void Solver::bump_var(Var v) {
@@ -167,25 +221,42 @@ void Solver::bump_var(Var v) {
     for (auto& a : activity_) a *= 1e-100;
     var_inc_ *= 1e-100;
   }
+  order_.increased(v);
 }
 
-void Solver::decay_activities() { var_inc_ /= 0.95; }
+void Solver::bump_clause(Clause c) {
+  c.set_activity(c.activity() + static_cast<float>(cla_inc_));
+  if (c.activity() > 1e20f) {
+    for (const ClauseRef cr : learnts_) {
+      Clause lc = ca_.deref(cr);
+      lc.set_activity(lc.activity() * 1e-20f);
+    }
+    cla_inc_ *= 1e-20;
+  }
+}
 
-void Solver::analyze(int conflict, std::vector<Lit>& learnt,
+void Solver::decay_activities() {
+  var_inc_ /= config_.var_decay;
+  cla_inc_ /= config_.clause_decay;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
                      int& backtrack_level) {
   learnt.clear();
   learnt.push_back(0);  // placeholder for the asserting (1UIP) literal
-  int counter = 0;      // literals of the current level still to resolve
-  Lit p = -1;
-  int ci = conflict;
+  to_clear_.clear();
+  int counter = 0;  // literals of the current level still to resolve
+  Lit p = kLitUndef;
+  ClauseRef cr = conflict;
   std::size_t index = trail_.size();
-  const int current_level = static_cast<int>(trail_lim_.size());
+  const int current_level = decision_level();
 
   do {
-    assert(ci != -1);
-    const auto& c = clauses_[static_cast<std::size_t>(ci)].lits;
-    const std::size_t start = (p == -1) ? 0 : 1;
-    for (std::size_t k = start; k < c.size(); ++k) {
+    assert(cr != kClauseRefUndef);
+    Clause c = ca_.deref(cr);
+    if (c.learned()) bump_clause(c);
+    const int start = (p == kLitUndef) ? 0 : 1;
+    for (int k = start; k < c.size(); ++k) {
       const Lit q = c[k];
       const Var v = var_of(q);
       if (seen_[static_cast<std::size_t>(v)] ||
@@ -198,6 +269,7 @@ void Solver::analyze(int conflict, std::vector<Lit>& learnt,
         ++counter;
       } else {
         learnt.push_back(q);
+        to_clear_.push_back(v);
       }
     }
     // Select the next literal on the trail to resolve on.
@@ -206,11 +278,37 @@ void Solver::analyze(int conflict, std::vector<Lit>& learnt,
     }
     --index;
     p = trail_[index];
-    ci = reason_[static_cast<std::size_t>(var_of(p))];
+    cr = reason_[static_cast<std::size_t>(var_of(p))];
     seen_[static_cast<std::size_t>(var_of(p))] = 0;
     --counter;
   } while (counter > 0);
   learnt[0] = negate(p);
+
+  // Conflict-clause minimization (MiniSat's "basic" mode): a literal is
+  // redundant when its reason's other antecedents are all already in the
+  // clause (seen) or fixed at level 0. Antecedents of a non-current-level
+  // literal are never at the current level, so the remaining seen_ flags
+  // (exactly the learnt literals) are the right witness set.
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const Var v = var_of(learnt[i]);
+    const ClauseRef r = reason_[static_cast<std::size_t>(v)];
+    bool redundant = false;
+    if (r != kClauseRefUndef) {
+      redundant = true;
+      const Clause rc = ca_.deref(r);
+      for (int k = 1; k < rc.size(); ++k) {
+        const Var w = var_of(rc[k]);
+        if (!seen_[static_cast<std::size_t>(w)] &&
+            level_[static_cast<std::size_t>(w)] > 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) learnt[kept++] = learnt[i];
+  }
+  learnt.resize(kept);
 
   // Compute backtrack level: the second-highest level in the learnt clause.
   if (learnt.size() == 1) {
@@ -226,18 +324,45 @@ void Solver::analyze(int conflict, std::vector<Lit>& learnt,
     std::swap(learnt[1], learnt[max_i]);
     backtrack_level = level_[static_cast<std::size_t>(var_of(learnt[1]))];
   }
-  for (const Lit l : learnt) seen_[static_cast<std::size_t>(var_of(l))] = 0;
+  for (const Var v : to_clear_) seen_[static_cast<std::size_t>(v)] = 0;
+}
+
+void Solver::analyze_final(Lit failing_assumption) {
+  conflict_core_.clear();
+  conflict_core_.push_back(failing_assumption);
+  if (decision_level() == 0) return;
+  seen_[static_cast<std::size_t>(var_of(failing_assumption))] = 1;
+  for (std::size_t i = trail_.size();
+       i > static_cast<std::size_t>(trail_lim_[0]); --i) {
+    const Var v = var_of(trail_[i - 1]);
+    if (!seen_[static_cast<std::size_t>(v)]) continue;
+    const ClauseRef r = reason_[static_cast<std::size_t>(v)];
+    if (r == kClauseRefUndef) {
+      assert(level_[static_cast<std::size_t>(v)] > 0);
+      conflict_core_.push_back(trail_[i - 1]);  // an assumption, as assumed
+    } else {
+      const Clause c = ca_.deref(r);
+      for (int k = 1; k < c.size(); ++k) {
+        const Var w = var_of(c[k]);
+        if (level_[static_cast<std::size_t>(w)] > 0) {
+          seen_[static_cast<std::size_t>(w)] = 1;
+        }
+      }
+    }
+    seen_[static_cast<std::size_t>(v)] = 0;
+  }
+  seen_[static_cast<std::size_t>(var_of(failing_assumption))] = 0;
 }
 
 void Solver::backtrack(int target_level) {
-  if (static_cast<int>(trail_lim_.size()) <= target_level) return;
-  const std::size_t keep =
-      static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(
-          target_level)]);
+  if (decision_level() <= target_level) return;
+  const std::size_t keep = static_cast<std::size_t>(
+      trail_lim_[static_cast<std::size_t>(target_level)]);
   for (std::size_t k = trail_.size(); k > keep; --k) {
     const Var v = var_of(trail_[k - 1]);
     assigns_[static_cast<std::size_t>(v)] = kUndef;
-    reason_[static_cast<std::size_t>(v)] = -1;
+    reason_[static_cast<std::size_t>(v)] = kClauseRefUndef;
+    if (!eliminated_[static_cast<std::size_t>(v)]) order_.insert(v);
   }
   trail_.resize(keep);
   trail_lim_.resize(static_cast<std::size_t>(target_level));
@@ -245,96 +370,150 @@ void Solver::backtrack(int target_level) {
 }
 
 Lit Solver::pick_branch() {
-  // Highest-activity unassigned variable; linear scan is ample for the
-  // header-synthesis formulas this repo generates (hundreds of variables).
-  Var best = -1;
-  double best_act = -1.0;
-  for (Var v = 0; v < num_vars(); ++v) {
-    if (assigns_[static_cast<std::size_t>(v)] != kUndef) continue;
-    if (activity_[static_cast<std::size_t>(v)] > best_act) {
-      best_act = activity_[static_cast<std::size_t>(v)];
-      best = v;
+  // Highest-activity unassigned variable off the VSIDS heap (assigned
+  // entries are discarded lazily; backtrack() reinserts).
+  while (!order_.empty()) {
+    const Var v = order_.remove_max();
+    if (assigns_[static_cast<std::size_t>(v)] == kUndef &&
+        !eliminated_[static_cast<std::size_t>(v)]) {
+      return make_lit(v, polarity_[static_cast<std::size_t>(v)] != 0);
     }
   }
-  if (best < 0) return -1;
-  return make_lit(best, polarity_[static_cast<std::size_t>(best)] != 0);
+  return kLitUndef;
 }
 
-void Solver::reduce_learned() {
-  // Drop the lower-activity half of learned clauses that are not currently
-  // reasons. Simple but keeps memory bounded on long runs.
-  std::vector<int> candidates;
-  for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) {
-    if (clauses_[static_cast<std::size_t>(ci)].learned) {
-      candidates.push_back(ci);
+void Solver::remove_satisfied(std::vector<ClauseRef>& list) {
+  std::size_t j = 0;
+  for (const ClauseRef cr : list) {
+    Clause c = ca_.deref(cr);
+    if (clause_satisfied(c)) {
+      remove_clause(cr);
+      continue;
     }
-  }
-  if (candidates.size() < 64) return;
-  std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
-    return clauses_[static_cast<std::size_t>(a)].activity <
-           clauses_[static_cast<std::size_t>(b)].activity;
-  });
-  // Rebuilding watches wholesale is simpler than surgically detaching and is
-  // rare (only on reduction), so the cost is acceptable.
-  std::vector<std::uint8_t> is_reason(clauses_.size(), 0);
-  for (Var v = 0; v < num_vars(); ++v) {
-    const int r = reason_[static_cast<std::size_t>(v)];
-    if (r >= 0) is_reason[static_cast<std::size_t>(r)] = 1;
-  }
-  std::vector<std::uint8_t> drop(clauses_.size(), 0);
-  for (std::size_t k = 0; k < candidates.size() / 2; ++k) {
-    const int ci = candidates[k];
-    if (!is_reason[static_cast<std::size_t>(ci)]) {
-      drop[static_cast<std::size_t>(ci)] = 1;
+    // Strengthen: drop level-0 falsified literals. Watched positions are
+    // untouched (after a propagation fixpoint an unsatisfied clause has
+    // both watches unassigned), so watcher lists stay valid.
+    for (int k = c.size() - 1; k >= 2; --k) {
+      if (lit_value(c[k]) == kFalse) {
+        c.remove_lit(k);
+        ca_.note_shrink();
+      }
     }
+    list[j++] = cr;
   }
-  std::vector<Clause> kept;
-  std::vector<int> remap(clauses_.size(), -1);
-  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
-    if (!drop[ci]) {
-      remap[ci] = static_cast<int>(kept.size());
-      kept.push_back(std::move(clauses_[ci]));
-    }
-  }
-  clauses_ = std::move(kept);
-  for (Var v = 0; v < num_vars(); ++v) {
-    int& r = reason_[static_cast<std::size_t>(v)];
-    if (r >= 0) r = remap[static_cast<std::size_t>(r)];
-  }
-  for (auto& ws : watches_) ws.clear();
-  for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) {
-    attach_clause(ci);
-  }
+  list.resize(j);
 }
 
-Result Solver::solve(std::int64_t conflict_budget) {
-  if (!ok_) return Result::kUnsat;
-  const SolveStatsPublisher publish(stats_);
-  std::int64_t conflicts_left = conflict_budget;
-  std::uint64_t restart_limit = 100;
+bool Solver::simplify() {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  if (propagate() != kClauseRefUndef) {
+    ok_ = false;
+    return false;
+  }
+  if (trail_.size() == simp_trail_head_) return true;  // no new facts
+  remove_satisfied(learnts_);
+  remove_satisfied(clauses_);
+  simp_trail_head_ = trail_.size();
+  maybe_garbage_collect();
+  return true;
+}
+
+void Solver::reduce_db() {
+  ++stats_.reduce_runs;
+  // Lowest-activity half goes, sparing binary clauses and reasons. The
+  // ClauseRef tie-break keeps the sweep deterministic.
+  std::sort(learnts_.begin(), learnts_.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              const float aa = ca_.deref(a).activity();
+              const float ab = ca_.deref(b).activity();
+              if (aa != ab) return aa < ab;
+              return a < b;
+            });
+  const std::size_t half = learnts_.size() / 2;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    const ClauseRef cr = learnts_[i];
+    const Clause c = ca_.deref(cr);
+    if (i < half && c.size() > 2 && !is_locked(c, cr)) {
+      remove_clause(cr);
+      ++stats_.learned_removed;
+    } else {
+      learnts_[j++] = cr;
+    }
+  }
+  learnts_.resize(j);
+  maybe_garbage_collect();
+}
+
+void Solver::maybe_garbage_collect() {
+  if (static_cast<double>(ca_.wasted_words()) <
+      config_.gc_wasted_fraction * static_cast<double>(ca_.size_words())) {
+    return;
+  }
+  ++stats_.gc_runs;
+  ClauseAllocator to;
+  to.reserve_for_copy(ca_);
+  for (auto& ws : watches_) {
+    for (auto& w : ws) ca_.reloc(w.cref, to);
+  }
+  for (const Lit l : trail_) {
+    ClauseRef& r = reason_[static_cast<std::size_t>(var_of(l))];
+    if (r != kClauseRefUndef) ca_.reloc(r, to);
+  }
+  for (auto& cr : clauses_) ca_.reloc(cr, to);
+  for (auto& cr : learnts_) ca_.reloc(cr, to);
+  ca_ = std::move(to);
+}
+
+double Solver::luby(double y, int i) {
+  // Finite-subsequence construction (Luby et al.); i is 0-based.
+  int size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return std::pow(y, seq);
+}
+
+Result Solver::search() {
+  std::int64_t conflicts_left = config_.conflict_budget;
+  int restart_index = 0;
+  auto restart_limit = static_cast<std::uint64_t>(
+      luby(2.0, restart_index) * config_.luby_restart_unit);
   std::uint64_t conflicts_since_restart = 0;
   std::vector<Lit> learnt;
+  if (reduce_limit_ == 0) reduce_limit_ = config_.reduce_base;
 
   for (;;) {
-    const int conflict = propagate();
-    if (conflict != -1) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kClauseRefUndef) {
       ++stats_.conflicts;
       ++conflicts_since_restart;
-      if (trail_lim_.empty()) return Result::kUnsat;  // conflict at level 0
-      if (conflict_budget >= 0 && --conflicts_left < 0) {
-        backtrack(0);
+      if (decision_level() == 0) {
+        ok_ = false;  // conflict independent of assumptions
+        return Result::kUnsat;
+      }
+      if (config_.conflict_budget >= 0 && --conflicts_left < 0) {
         return Result::kUnknown;
       }
       int back_level = 0;
       analyze(conflict, learnt, back_level);
       backtrack(back_level);
       if (learnt.size() == 1) {
-        enqueue(learnt[0], -1);
+        enqueue(learnt[0], kClauseRefUndef);
       } else {
-        clauses_.push_back(Clause{learnt, /*learned=*/true, var_inc_});
+        const ClauseRef cr = ca_.alloc(learnt, /*learned=*/true);
+        ca_.deref(cr).set_activity(static_cast<float>(cla_inc_));
+        learnts_.push_back(cr);
         ++stats_.learned_clauses;
-        attach_clause(static_cast<int>(clauses_.size()) - 1);
-        enqueue(learnt[0], static_cast<int>(clauses_.size()) - 1);
+        attach_clause(cr);
+        enqueue(learnt[0], cr);
       }
       decay_activities();
       continue;
@@ -342,22 +521,110 @@ Result Solver::solve(std::int64_t conflict_budget) {
     if (conflicts_since_restart >= restart_limit) {
       ++stats_.restarts;
       conflicts_since_restart = 0;
-      restart_limit = restart_limit + restart_limit / 2;  // geometric
+      restart_limit = static_cast<std::uint64_t>(
+          luby(2.0, ++restart_index) * config_.luby_restart_unit);
       backtrack(0);
-      reduce_learned();
+      if (static_cast<std::int64_t>(learnts_.size()) >= reduce_limit_) {
+        reduce_db();
+        reduce_limit_ = static_cast<std::int64_t>(
+            static_cast<double>(reduce_limit_) * config_.reduce_growth);
+      }
       continue;
     }
-    const Lit branch = pick_branch();
-    if (branch < 0) return Result::kSat;  // all variables assigned
-    ++stats_.decisions;
+    // Establish pending assumptions before any free decision.
+    Lit next = kLitUndef;
+    while (decision_level() < static_cast<int>(assumptions_.size())) {
+      const Lit p = assumptions_[static_cast<std::size_t>(decision_level())];
+      if (lit_value(p) == kTrue) {
+        // Already satisfied: open a placeholder level so levels keep
+        // indexing assumptions.
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+      } else if (lit_value(p) == kFalse) {
+        analyze_final(p);
+        return Result::kUnsat;
+      } else {
+        next = p;
+        break;
+      }
+    }
+    if (next == kLitUndef) {
+      next = pick_branch();
+      if (next == kLitUndef) return Result::kSat;  // all variables assigned
+      ++stats_.decisions;
+    }
     trail_lim_.push_back(static_cast<int>(trail_.size()));
-    enqueue(branch, -1);
+    enqueue(next, kClauseRefUndef);
+  }
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  const SolveStatsPublisher publish(stats_);
+  ++stats_.solves;
+  conflict_core_.clear();
+  if (!ok_) return Result::kUnsat;
+  backtrack(0);
+  assumptions_ = assumptions;
+#ifndef NDEBUG
+  for (const Lit a : assumptions_) {
+    assert(var_of(a) >= 0 && var_of(a) < num_vars());
+    assert(!eliminated_[static_cast<std::size_t>(var_of(a))] &&
+           "assuming an eliminated variable; freeze() assumption vars");
+  }
+#endif
+  Result r;
+  if (!simplify()) {
+    r = Result::kUnsat;
+  } else {
+    if (config_.inprocessing &&
+        clauses_since_inprocess_ >
+            std::max<std::size_t>(
+                64, static_cast<std::size_t>(
+                        config_.inprocess_new_fraction *
+                        static_cast<double>(clauses_.size())))) {
+      Preprocessor pre(*this);
+      if (!pre.run()) ok_ = false;
+      clauses_since_inprocess_ = 0;
+    }
+    r = ok_ ? search() : Result::kUnsat;
+  }
+  if (r == Result::kSat) {
+    model_.assign(assigns_.begin(), assigns_.end());
+    extend_model();
+  }
+  backtrack(0);
+  assumptions_.clear();
+  return r;
+}
+
+void Solver::extend_model() {
+  // Walk the elimination records backwards (most recently eliminated var
+  // first): a record whose saved clauses are all satisfied keeps the
+  // default; otherwise the witness literal is flipped true. Records of a
+  // variable only mention variables that survived its elimination, so the
+  // backward order resolves every cross-reference.
+  std::size_t i = elim_extend_.size();
+  while (i > 0) {
+    const auto len = static_cast<std::size_t>(elim_extend_[i - 1]);
+    const std::size_t begin = i - 1 - len;
+    bool satisfied = false;
+    for (std::size_t k = begin; k < i - 1 && !satisfied; ++k) {
+      const auto l = static_cast<Lit>(elim_extend_[k]);
+      const std::uint8_t mv = model_[static_cast<std::size_t>(var_of(l))];
+      satisfied = mv != kUndef && (mv ^ (l & 1)) == kTrue;
+    }
+    if (!satisfied) {
+      const auto witness = static_cast<Lit>(elim_extend_[begin]);
+      model_[static_cast<std::size_t>(var_of(witness))] =
+          is_negated(witness) ? kFalse : kTrue;
+    }
+    i = begin;
   }
 }
 
 bool Solver::model_value(Var v) const {
   assert(v >= 0 && v < num_vars());
-  return assigns_[static_cast<std::size_t>(v)] == kTrue;
+  assert(static_cast<std::size_t>(v) < model_.size());
+  return model_[static_cast<std::size_t>(v)] == kTrue;
 }
 
 }  // namespace sdnprobe::sat

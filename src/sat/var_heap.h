@@ -1,0 +1,122 @@
+// Indexed binary max-heap over variables, ordered by VSIDS activity with a
+// smallest-index tie-break. Replaces the solver's former linear
+// highest-activity scan: pick-branch becomes O(log n) pops instead of an
+// O(n) sweep per decision, which is what makes heap-based VSIDS viable on
+// the campus/Table-II formulas (thousands of variables per session).
+//
+// The tie-break matters for determinism: equal activities (the common case
+// right after construction, when every activity is 0) must resolve to the
+// lowest variable index so branching order — and therefore every model the
+// solver returns — is a pure function of the formula, never of heap
+// insertion history.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "sat/literal.h"
+
+namespace sdnprobe::sat {
+
+class VarHeap {
+ public:
+  // The heap reads activities through this reference; the owner (Solver)
+  // must keep the vector alive and call update()/rebuild() after changes.
+  explicit VarHeap(const std::vector<double>& activity)
+      : activity_(&activity) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool contains(Var v) const {
+    return static_cast<std::size_t>(v) < pos_.size() && pos_[static_cast<std::size_t>(v)] >= 0;
+  }
+
+  // Makes room for variables [0, n); new slots start outside the heap.
+  void grow(int n) { pos_.resize(static_cast<std::size_t>(n), -1); }
+
+  void insert(Var v) {
+    assert(static_cast<std::size_t>(v) < pos_.size());
+    if (contains(v)) return;
+    pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    up(static_cast<int>(heap_.size()) - 1);
+  }
+
+  // Re-establishes heap order after v's activity increased (VSIDS bump).
+  void increased(Var v) {
+    if (contains(v)) up(pos_[static_cast<std::size_t>(v)]);
+  }
+
+  Var remove_max() {
+    assert(!heap_.empty());
+    const Var top = heap_[0];
+    heap_[0] = heap_.back();
+    pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_.pop_back();
+    pos_[static_cast<std::size_t>(top)] = -1;
+    if (!heap_.empty()) down(0);
+    return top;
+  }
+
+  void remove(Var v) {
+    if (!contains(v)) return;
+    const int i = pos_[static_cast<std::size_t>(v)];
+    pos_[static_cast<std::size_t>(v)] = -1;
+    if (i == static_cast<int>(heap_.size()) - 1) {
+      heap_.pop_back();
+      return;
+    }
+    heap_[static_cast<std::size_t>(i)] = heap_.back();
+    pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+    heap_.pop_back();
+    down(i);
+    up(pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])]);
+  }
+
+ private:
+  // True when a outranks b: higher activity, lower index on ties.
+  bool above(Var a, Var b) const {
+    const double aa = (*activity_)[static_cast<std::size_t>(a)];
+    const double ab = (*activity_)[static_cast<std::size_t>(b)];
+    return aa > ab || (aa == ab && a < b);
+  }
+
+  void up(int i) {
+    const Var v = heap_[static_cast<std::size_t>(i)];
+    while (i > 0) {
+      const int parent = (i - 1) >> 1;
+      if (!above(v, heap_[static_cast<std::size_t>(parent)])) break;
+      heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(parent)];
+      pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+      i = parent;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    pos_[static_cast<std::size_t>(v)] = i;
+  }
+
+  void down(int i) {
+    const Var v = heap_[static_cast<std::size_t>(i)];
+    const int n = static_cast<int>(heap_.size());
+    for (;;) {
+      int child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && above(heap_[static_cast<std::size_t>(child + 1)],
+                                 heap_[static_cast<std::size_t>(child)])) {
+        ++child;
+      }
+      if (!above(heap_[static_cast<std::size_t>(child)], v)) break;
+      heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(child)];
+      pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+      i = child;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    pos_[static_cast<std::size_t>(v)] = i;
+  }
+
+  const std::vector<double>* activity_;
+  std::vector<Var> heap_;
+  std::vector<int> pos_;  // -1 when not in heap
+};
+
+}  // namespace sdnprobe::sat

@@ -20,7 +20,9 @@
 //   - probe generation is bit-identical at 1/2/8 threads even when every
 //     header comes from the SAT fallback.
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -89,6 +91,43 @@ PassResult run_shared(const std::vector<const hsa::HeaderSpace*>& stream,
   r.conflicts = session.solver().stats().conflicts - conflicts0;
   r.propagations = session.solver().stats().propagations - props0;
   return r;
+}
+
+// Guard-retirement pass: one long-lived session visits a stream of distinct
+// spaces exactly once each. An unbounded session keeps every space's guarded
+// clauses armed in the clause DB and watch lists forever, so per-query
+// propagation grows with the number of spaces ever seen; a capped session
+// retires LRU spaces (permanent ¬guard unit + simplify() sweep), keeping the
+// live clause set — and propagation — bounded by the cap.
+struct RetireResult {
+  double total_ms = 0.0;
+  std::vector<std::string> headers;
+  std::vector<std::uint64_t> props;  // per-query propagation deltas
+};
+
+RetireResult run_retirement(const std::vector<const hsa::HeaderSpace*>& stream,
+                            sat::HeaderSession& session) {
+  RetireResult r;
+  util::WallTimer t;
+  for (const auto* space : stream) {
+    const std::uint64_t p0 = session.solver().stats().propagations;
+    const auto h = session.find_header(*space, {});
+    r.props.push_back(session.solver().stats().propagations - p0);
+    r.headers.push_back(h.has_value() ? h->to_string() : std::string());
+  }
+  r.total_ms = t.elapsed_millis();
+  return r;
+}
+
+double mean_last_quarter(const std::vector<std::uint64_t>& xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t from = xs.size() - xs.size() / 4;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = from; i < xs.size(); ++i, ++count) {
+    sum += static_cast<double>(xs[i]);
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
 }
 
 }  // namespace
@@ -177,6 +216,70 @@ int main(int argc, char** argv) {
                                            : 0.0);
   report.set_summary("session_queries", shared_session.queries());
 
+  // --- Guard retirement: capped vs unbounded space cache. ---
+  // Stream hundreds of *distinct* spaces (every deduplicated vertex input
+  // space, no repeats) through two long-lived sessions. Both answer the
+  // same lex-min headers (retirement only discards spaces that are not in
+  // the current query), but only the capped session's tail-of-stream
+  // propagation stays flat instead of growing with every space ever seen.
+  std::vector<const hsa::HeaderSpace*> distinct;
+  {
+    std::unordered_set<std::string> seen;
+    const std::size_t distinct_cap = full ? 512 : 192;
+    for (core::VertexId v = 0;
+         v < graph.vertex_count() && distinct.size() < distinct_cap; ++v) {
+      const hsa::HeaderSpace& s = graph.in_space(v);
+      if (s.is_empty()) continue;
+      std::string key;
+      for (const auto& cube : s.cubes()) {
+        key += cube.to_string();
+        key += '|';
+      }
+      if (seen.insert(std::move(key)).second) distinct.push_back(&s);
+    }
+  }
+  const std::size_t retire_cap = 48;
+  sat::HeaderSession capped(rs.header_width(), {}, retire_cap);
+  sat::HeaderSession unbounded(rs.header_width(), {}, 0);
+  const RetireResult capped_r = run_retirement(distinct, capped);
+  const RetireResult unbounded_r = run_retirement(distinct, unbounded);
+  const double capped_tail = mean_last_quarter(capped_r.props);
+  const double unbounded_tail = mean_last_quarter(unbounded_r.props);
+  const bool retire_identical = capped_r.headers == unbounded_r.headers;
+  const bool retire_flat = capped_tail <= unbounded_tail;
+  std::printf("\nguard retirement: %zu distinct spaces, cap %zu\n",
+              distinct.size(), retire_cap);
+  std::printf("  capped:    %8.2f ms, tail propagations/query %10.1f, "
+              "%llu evicted, %zu cached\n",
+              capped_r.total_ms, capped_tail,
+              static_cast<unsigned long long>(capped.spaces_evicted()),
+              capped.cached_spaces());
+  std::printf("  unbounded: %8.2f ms, tail propagations/query %10.1f, "
+              "%llu evicted, %zu cached\n",
+              unbounded_r.total_ms, unbounded_tail,
+              static_cast<unsigned long long>(unbounded.spaces_evicted()),
+              unbounded.cached_spaces());
+  std::printf("  answers identical: %s; capped tail <= unbounded tail: %s\n",
+              retire_identical ? "yes" : "NO", retire_flat ? "yes" : "NO");
+  for (const char* which : {"capped", "unbounded"}) {
+    const bool is_capped = std::strcmp(which, "capped") == 0;
+    const RetireResult& rr = is_capped ? capped_r : unbounded_r;
+    const sat::HeaderSession& s = is_capped ? capped : unbounded;
+    auto& row = report.add_row();
+    row["strategy"] = std::string("retirement_") + which;
+    row["time_ms"] = rr.total_ms;
+    row["tail_propagations_per_query"] = mean_last_quarter(rr.props);
+    row["spaces_encoded"] = s.spaces_encoded();
+    row["spaces_evicted"] = s.spaces_evicted();
+    row["cached_spaces"] = std::uint64_t{s.cached_spaces()};
+  }
+  report.set_summary("retirement_spaces", std::uint64_t{distinct.size()});
+  report.set_summary("retirement_cap", std::uint64_t{retire_cap});
+  report.set_summary("retirement_answers_identical", retire_identical);
+  report.set_summary("retirement_tail_flat", retire_flat);
+  report.set_summary("retirement_capped_tail_props", capped_tail);
+  report.set_summary("retirement_unbounded_tail_props", unbounded_tail);
+
   // Probe-generation delta: force every probe header through the SAT
   // fallback (sample_attempts = 0) and check the report is bit-identical
   // for 1/2/8 worker threads.
@@ -214,5 +317,8 @@ int main(int argc, char** argv) {
   std::printf("probe reports identical across thread counts: %s\n",
               deterministic ? "yes" : "NO");
   report.set_summary("probe_reports_identical", deterministic);
-  return identical && incremental_wins && deterministic ? 0 : 1;
+  return identical && incremental_wins && deterministic && retire_identical &&
+                 retire_flat
+             ? 0
+             : 1;
 }

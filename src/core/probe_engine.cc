@@ -106,15 +106,45 @@ std::optional<hsa::TernaryString> ProbeEngine::commit_unique_header(
   return std::nullopt;
 }
 
-Probe ProbeEngine::finish_probe(const std::vector<VertexId>& path,
+ProbeEngine::PathCandidates ProbeEngine::sample_path_candidates(
+    const AnalysisSnapshot& snap, const std::vector<VertexId>& path,
+    std::uint64_t stream_seed, int attempts, const TrafficProfile* profile) {
+  PathCandidates c;
+  if (path.empty()) return c;
+  c.input = snap.path_input_space(path);
+  if (c.input.is_empty()) return c;
+  util::Rng path_rng(stream_seed);
+  c.samples.reserve(static_cast<std::size_t>(std::max(attempts, 0)));
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    std::optional<hsa::TernaryString> h = profile
+                                              ? profile->sample(c.input, path_rng)
+                                              : c.input.sample(path_rng);
+    if (!h.has_value()) break;
+    c.samples.push_back(std::move(*h));
+  }
+  EngineInstruments::get().candidates.add(c.samples.size());
+  return c;
+}
+
+std::optional<Probe> ProbeEngine::commit_probe(
+    const AnalysisSnapshot& snap, const std::vector<VertexId>& path,
+    const PathCandidates& candidates) {
+  if (path.empty()) return std::nullopt;
+  auto header = commit_unique_header(candidates.input, candidates.samples);
+  if (!header.has_value()) return std::nullopt;
+  return finish_probe(snap, path, std::move(*header));
+}
+
+Probe ProbeEngine::finish_probe(const AnalysisSnapshot& snap,
+                                const std::vector<VertexId>& path,
                                 hsa::TernaryString header) {
   Probe p;
   p.probe_id = next_probe_id_++;
   p.path = path;
   p.header = std::move(header);
-  const auto& rules = snapshot_->rules();
+  const auto& rules = snap.rules();
   p.entries.reserve(path.size());
-  for (const VertexId v : path) p.entries.push_back(snapshot_->entry_of(v));
+  for (const VertexId v : path) p.entries.push_back(snap.entry_of(v));
   p.inject_switch = rules.entry(p.entries.front()).switch_id;
   p.terminal_entry = p.entries.back();
   // Expected header at the terminal's test table: transformed by every set
@@ -134,7 +164,7 @@ std::optional<Probe> ProbeEngine::make_probe(const std::vector<VertexId>& path,
   const hsa::HeaderSpace input = snapshot_->path_input_space(path);
   auto header = pick_unique_header(input, rng, profile);
   if (!header.has_value()) return std::nullopt;
-  return finish_probe(path, std::move(*header));
+  return finish_probe(*snapshot_, path, std::move(*header));
 }
 
 std::vector<Probe> ProbeEngine::make_probes(const Cover& cover,
@@ -149,27 +179,12 @@ std::vector<Probe> ProbeEngine::make_probes(const Cover& cover,
 
   // Phase A (parallel, read-only): per-path input spaces and header
   // candidates. Each worker touches only its own slot.
-  struct PathCandidates {
-    hsa::HeaderSpace input;
-    std::vector<hsa::TernaryString> samples;
-  };
   std::vector<PathCandidates> candidates(n);
   auto generate = [&](std::size_t i) {
-    const auto& path = cover.paths[i].vertices;
-    if (path.empty()) return;
-    PathCandidates& c = candidates[i];
-    c.input = snapshot_->path_input_space(path);
-    if (c.input.is_empty()) return;
-    util::Rng path_rng(util::Rng::derive(base, static_cast<std::uint64_t>(i)));
-    c.samples.reserve(static_cast<std::size_t>(config_.sample_attempts));
-    for (int attempt = 0; attempt < config_.sample_attempts; ++attempt) {
-      std::optional<hsa::TernaryString> h =
-          profile ? profile->sample(c.input, path_rng)
-                  : c.input.sample(path_rng);
-      if (!h.has_value()) break;
-      c.samples.push_back(std::move(*h));
-    }
-    EngineInstruments::get().candidates.add(c.samples.size());
+    candidates[i] = sample_path_candidates(
+        *snapshot_, cover.paths[i].vertices,
+        util::Rng::derive(base, static_cast<std::uint64_t>(i)),
+        config_.sample_attempts, profile);
   };
   const std::size_t workers =
       n == 0 ? 1
@@ -194,7 +209,7 @@ std::vector<Probe> ProbeEngine::make_probes(const Cover& cover,
     auto header = commit_unique_header(candidates[i].input,
                                        candidates[i].samples);
     if (header.has_value()) {
-      probes.push_back(finish_probe(path, std::move(*header)));
+      probes.push_back(finish_probe(*snapshot_, path, std::move(*header)));
     } else {
       LOG_WARN << "probe synthesis failed for a cover path of length "
                << path.size();

@@ -95,15 +95,32 @@ bool spaces_intersect(const hsa::HeaderSpace& a, const hsa::HeaderSpace& b) {
 }  // namespace
 
 RuleGraph::RuleGraph(const flow::RuleSet& rules) : rules_(&rules) {
+  build(nullptr);
+}
+
+RuleGraph::RuleGraph(const flow::RuleSet& rules,
+                     const std::vector<std::uint8_t>& keep_switch)
+    : rules_(&rules) {
+  build(&keep_switch);
+}
+
+void RuleGraph::build(const std::vector<std::uint8_t>* keep_switch) {
+  const flow::RuleSet& rules = *rules_;
   const std::size_t n_entries = rules.entry_count();
   vertex_of_entry_.assign(n_entries, -1);
   slot_of_entry_.assign(n_entries, -1);
+  auto kept = [&](flow::SwitchId sw) {
+    return keep_switch == nullptr ||
+           (static_cast<std::size_t>(sw) < keep_switch->size() &&
+            (*keep_switch)[static_cast<std::size_t>(sw)] != 0);
+  };
 
   // Vertices: testable entries only. Removed (tombstoned) entries are not
   // part of the policy at all — neither vertices nor dead entries.
   for (flow::EntryId id = 0; id < static_cast<flow::EntryId>(n_entries);
        ++id) {
     if (rules.is_removed(id)) continue;
+    if (!kept(rules.entry(id).switch_id)) continue;
     hsa::HeaderSpace in = rules.input_space(id);
     if (in.is_empty()) {
       dead_entries_.push_back(id);
@@ -135,15 +152,18 @@ RuleGraph::RuleGraph(const flow::RuleSet& rules) : rules_(&rules) {
   }
 
   // Step-1 edges: (ri, rj) iff ri hands off to rj's table and
-  // ri.out ∩ rj.in != ∅.
+  // ri.out ∩ rj.in != ∅. `seen` is allocated once and reset via the
+  // `marked` scratch list — a per-vertex V-sized assign() would make edge
+  // construction Θ(V²) regardless of graph sparsity.
   std::vector<VertexId> candidates;
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(V), 0);
+  std::vector<VertexId> marked;
   for (VertexId v = 0; v < V; ++v) {
     const auto& e = rules.entry(entry_of(v));
     const auto target = handoff_target(rules, e);
     if (!target.has_value()) continue;  // drop / to-controller / host port
     const auto idx = index.find(table_key(target->first, target->second));
     if (idx == index.end()) continue;
-    std::vector<std::uint8_t> seen(static_cast<std::size_t>(V), 0);
     for (const auto& out_cube : out_space(v).cubes()) {
       candidates.clear();
       idx->second.collect(out_cube, candidates);
@@ -158,12 +178,15 @@ RuleGraph::RuleGraph(const flow::RuleSet& rules) : rules_(&rules) {
         }
         if (hit) {
           seen[static_cast<std::size_t>(w)] = 1;
+          marked.push_back(w);
           adj_[static_cast<std::size_t>(v)].push_back(w);
           radj_[static_cast<std::size_t>(w)].push_back(v);
           ++edge_count_;
         }
       }
     }
+    for (const VertexId w : marked) seen[static_cast<std::size_t>(w)] = 0;
+    marked.clear();
   }
 }
 

@@ -47,10 +47,18 @@ RuleSet synthesize_ruleset(const topo::Graph& topology,
 
   // --- Aggregate entries: shortest-path trees toward every destination. ---
   if (config.aggregates) {
+    // One per-(u,d) Dijkstra is O(n²) Dijkstras; past a few hundred switches
+    // one in-tree per destination gives the same n² entries in n Dijkstras.
+    // Gated so topologies at or below 256 switches (all Table II presets)
+    // keep byte-identical rulesets: the tree's tie-breaks can pick a
+    // different equal-cost first hop than the per-pair search.
+    const bool use_dest_tree = n > 256;
     for (SwitchId d = 0; d < n; ++d) {
       hsa::TernaryString dst_match =
           hsa::TernaryString::wildcard(config.header_width);
       set_dst_bits(dst_match, d, config.dst_bits);
+      std::vector<topo::NodeId> next_hop;
+      if (use_dest_tree) next_hop = topology.shortest_path_tree(d);
       for (SwitchId u = 0; u < n; ++u) {
         FlowEntry e;
         e.switch_id = u;
@@ -59,6 +67,12 @@ RuleSet synthesize_ruleset(const topo::Graph& topology,
         e.match = dst_match;
         if (u == d) {
           e.action = Action::output(ports.host_port(d));
+        } else if (use_dest_tree) {
+          const topo::NodeId hop = next_hop[static_cast<std::size_t>(u)];
+          if (hop < 0) continue;  // unreachable (never: connected)
+          const auto port = ports.port_to(u, hop);
+          assert(port.has_value());
+          e.action = Action::output(*port);
         } else {
           const topo::Path p = topology.shortest_path(u, d);
           if (p.nodes.size() < 2) continue;  // unreachable (never: connected)

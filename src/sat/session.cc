@@ -1,15 +1,17 @@
 #include "sat/session.h"
 
 #include <cassert>
+#include <utility>
 
 #include "telemetry/metrics.h"
 
 namespace sdnprobe::sat {
 
-HeaderSession::HeaderSession(int width, SolverConfig config)
-    : solver_(config), enc_(solver_, width) {}
+HeaderSession::HeaderSession(int width, SolverConfig config,
+                             std::size_t space_cache_cap)
+    : solver_(config), enc_(solver_, width), space_cache_cap_(space_cache_cap) {}
 
-Lit HeaderSession::space_guard(const hsa::HeaderSpace& space) {
+std::string HeaderSession::space_key(const hsa::HeaderSpace& space) {
   // Key the cache on the exact cube list (order included): two orderings of
   // one space get separate guards, which only costs a little reuse.
   std::string key;
@@ -17,12 +19,50 @@ Lit HeaderSession::space_guard(const hsa::HeaderSpace& space) {
     key += cube.to_string();
     key += '|';
   }
+  return key;
+}
+
+Lit HeaderSession::space_guard(const std::string& key,
+                               const hsa::HeaderSpace& space) {
   const auto it = space_guards_.find(key);
-  if (it != space_guards_.end()) return it->second;
+  if (it != space_guards_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);  // bump to MRU
+    return it->second.guard;
+  }
   const Lit g = pos(solver_.new_var(/*frozen=*/true));
   enc_.require_in_space_if(g, space);
-  space_guards_.emplace(std::move(key), g);
+  lru_.push_front(key);
+  space_guards_.emplace(key, SpaceEntry{g, 0, lru_.begin()});
+  ++spaces_encoded_;
+  evict_spaces_over_cap();
   return g;
+}
+
+void HeaderSession::evict_spaces_over_cap() {
+  if (space_cache_cap_ == 0) return;  // unbounded
+  while (space_guards_.size() > space_cache_cap_ && !lru_.empty()) {
+    // Retire the least recently used quiescent space: walk from the LRU end
+    // past pinned entries (the in-flight query's space must stay armed).
+    auto victim = lru_.end();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (space_guards_.at(*it).refcount == 0) {
+        victim = std::next(it).base();
+        break;
+      }
+    }
+    if (victim == lru_.end()) return;  // everything pinned; give up for now
+    const auto entry = space_guards_.find(*victim);
+    // ¬g as a permanent unit satisfies every (¬g ∨ C) clause of the retired
+    // space; simplify() then physically sweeps them out of the clause DB
+    // and watch lists — propagation stops paying for dead history.
+    solver_.add_unit(negate(entry->second.guard));
+    solver_.simplify();
+    space_guards_.erase(entry);
+    lru_.erase(victim);
+    ++spaces_evicted_;
+    auto& reg = telemetry::MetricsRegistry::global();
+    if (reg.enabled()) reg.counter("sat.session.spaces_evicted").add(1);
+  }
 }
 
 Lit HeaderSession::forbid_guard(const hsa::TernaryString& header) {
@@ -50,8 +90,18 @@ std::optional<hsa::TernaryString> HeaderSession::find_header(
     }
   }
 
+  const std::string key = space_key(space);
   std::vector<Lit> assumptions;
-  assumptions.push_back(space_guard(space));
+  assumptions.push_back(space_guard(key, space));
+  // Pin the query's space for the duration of the call: forbid_guard() can
+  // grow the variable space but never evicts, and the pin guards against
+  // any future eviction point inside the query window.
+  space_guards_.at(key).refcount++;
+  struct Unpin {
+    HeaderSession* s;
+    const std::string& k;
+    ~Unpin() { s->space_guards_.at(k).refcount--; }
+  } unpin{this, key};
   for (const auto& h : forbidden) assumptions.push_back(forbid_guard(h));
 
   if (solver_.solve(assumptions) != Result::kSat) return std::nullopt;

@@ -28,9 +28,26 @@
 // conflict_budget in the session's SolverConfig: a query that exhausts it
 // mid-canonicalization still returns a valid member, just not necessarily
 // the smallest one.
+//
+// Guard retirement (clause-DB hygiene at scale). Every distinct space a
+// session encodes leaves its guarded clauses in the watch lists forever —
+// even spaces never queried again — so propagation cost grows with session
+// history, not live working set. The space cache is therefore an LRU with a
+// capacity cap: evicting a space asserts ¬g as a permanent unit, which
+// satisfies every (¬g ∨ C) clause of that space, and an eager simplify()
+// physically sweeps them from the clause DB and watch lists. A later query
+// naming an evicted space simply re-encodes it under a fresh guard; answers
+// are unchanged (lex-min is a pure function of the query, not of session
+// history). The space named by the in-flight query is pinned — its refcount
+// is held for the duration of the call — so eviction only ever retires
+// quiescent spaces. Forbidden-header guards stay unbounded: every one of
+// them is active in every query (§VI network-wide uniqueness), so none is
+// ever quiescent.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <list>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -46,7 +63,14 @@ namespace sdnprobe::sat {
 
 class HeaderSession {
  public:
-  explicit HeaderSession(int width, SolverConfig config = {});
+  // Default LRU capacity for cached space constraints; 0 = unbounded (the
+  // pre-retirement behaviour). Deep-overlap workloads cycle through far
+  // fewer than this many *live* spaces; the cap only bites on streams of
+  // hundreds of one-shot spaces (see bench_sat's retirement pass).
+  static constexpr std::size_t kDefaultSpaceCacheCap = 256;
+
+  explicit HeaderSession(int width, SolverConfig config = {},
+                         std::size_t space_cache_cap = kDefaultSpaceCacheCap);
 
   int width() const { return enc_.width(); }
 
@@ -62,19 +86,37 @@ class HeaderSession {
   std::uint64_t queries() const { return queries_; }
   const Solver& solver() const { return solver_; }
 
+  // Retirement counters (bench_sat's clause-DB hygiene pass).
+  std::size_t cached_spaces() const { return space_guards_.size(); }
+  std::uint64_t spaces_encoded() const { return spaces_encoded_; }
+  std::uint64_t spaces_evicted() const { return spaces_evicted_; }
+
  private:
+  struct SpaceEntry {
+    Lit guard;
+    int refcount = 0;                     // pins held by in-flight queries
+    std::list<std::string>::iterator lru;  // position in lru_ (front = MRU)
+  };
+
   // Returns the activation literal for the constraint, encoding it on first
   // use and reusing the cached guard on every later query that names the
-  // same space / header.
-  Lit space_guard(const hsa::HeaderSpace& space);
+  // same space / header. space_guard bumps the entry to MRU and evicts past
+  // the cap (never the pinned entry).
+  Lit space_guard(const std::string& key, const hsa::HeaderSpace& space);
   Lit forbid_guard(const hsa::TernaryString& header);
+  void evict_spaces_over_cap();
+  static std::string space_key(const hsa::HeaderSpace& space);
 
   Solver solver_;
   HeaderEncoder enc_;
-  std::unordered_map<std::string, Lit> space_guards_;
+  std::size_t space_cache_cap_;
+  std::unordered_map<std::string, SpaceEntry> space_guards_;
+  std::list<std::string> lru_;  // space keys, most recently used first
   std::unordered_map<hsa::TernaryString, Lit, hsa::TernaryStringHash>
       forbid_guards_;
   std::uint64_t queries_ = 0;
+  std::uint64_t spaces_encoded_ = 0;
+  std::uint64_t spaces_evicted_ = 0;
 };
 
 }  // namespace sdnprobe::sat

@@ -1,0 +1,166 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "topo/graph.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sdnprobe::shard {
+namespace {
+
+// Multi-source BFS hop distances from every already-chosen seed.
+std::vector<int> hop_distances(const topo::Graph& g,
+                               const std::vector<int>& sources) {
+  std::vector<int> dist(static_cast<std::size_t>(g.node_count()), -1);
+  std::queue<int> q;
+  for (const int s : sources) {
+    dist[static_cast<std::size_t>(s)] = 0;
+    q.push(s);
+  }
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (const int w : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(w)] >= 0) continue;
+      dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
+      q.push(w);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+ShardLayout make_layout(const core::AnalysisSnapshot& snap,
+                        const ShardConfig& config) {
+  const topo::Graph& topo = snap.topology();
+  const int n = topo.node_count();
+  ShardLayout layout;
+  layout.shard_count = std::clamp(config.shard_count, 1, std::max(1, n));
+  layout.shard_of_switch.assign(static_cast<std::size_t>(n), 0);
+  const int k = layout.shard_count;
+  if (k <= 1 || n <= 1) return layout;
+
+  // Per-switch weight: active rule-graph vertices (min 1, so empty switches
+  // still spread across regions instead of all landing in one).
+  std::vector<std::int64_t> weight(static_cast<std::size_t>(n), 1);
+  const auto& rules = snap.rules();
+  for (core::VertexId v = 0; v < snap.vertex_count(); ++v) {
+    if (!snap.is_active(v)) continue;
+    const flow::SwitchId sw = rules.entry(snap.entry_of(v)).switch_id;
+    if (sw >= 0 && sw < n) ++weight[static_cast<std::size_t>(sw)];
+  }
+
+  // Seed 0: weight-proportional draw — the one randomized choice, so
+  // different seeds explore different layouts (the fuzz tests rely on it).
+  util::Rng rng(config.seed);
+  std::int64_t total = 0;
+  for (const std::int64_t w : weight) total += w;
+  std::vector<int> seeds;
+  {
+    std::int64_t pick = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(total)));
+    int s0 = n - 1;
+    for (int sw = 0; sw < n; ++sw) {
+      pick -= weight[static_cast<std::size_t>(sw)];
+      if (pick < 0) {
+        s0 = sw;
+        break;
+      }
+    }
+    seeds.push_back(s0);
+  }
+  // Seeds 1..k-1: farthest-point by hop distance (tie: heavier switch, then
+  // lowest id). Unreachable switches (dist -1) rank highest so every
+  // component gets a seed before we densify one component.
+  while (static_cast<int>(seeds.size()) < k) {
+    const std::vector<int> dist = hop_distances(topo, seeds);
+    int best = -1;
+    auto better = [&](int a, int b) {  // true if a is a strictly better seed
+      auto key = [&](int sw) {
+        const int d = dist[static_cast<std::size_t>(sw)];
+        return std::make_tuple(d < 0 ? std::numeric_limits<int>::max() : d,
+                               weight[static_cast<std::size_t>(sw)], -sw);
+      };
+      return key(a) > key(b);
+    };
+    for (int sw = 0; sw < n; ++sw) {
+      if (std::find(seeds.begin(), seeds.end(), sw) != seeds.end()) continue;
+      if (best < 0 || better(sw, best)) best = sw;
+    }
+    SDNPROBE_CHECK_GE(best, 0);
+    seeds.push_back(best);
+  }
+
+  // Greedy growth: the lightest region (tie: lowest region index) claims the
+  // lowest-id switch on its frontier. std::set keeps frontiers ordered.
+  std::vector<int> assigned(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> load(static_cast<std::size_t>(k), 0);
+  std::vector<std::set<int>> frontier(static_cast<std::size_t>(k));
+  int remaining = n;
+  for (int r = 0; r < k; ++r) {
+    const int s = seeds[static_cast<std::size_t>(r)];
+    assigned[static_cast<std::size_t>(s)] = r;
+    load[static_cast<std::size_t>(r)] = weight[static_cast<std::size_t>(s)];
+    --remaining;
+    for (const int w : topo.neighbors(s)) {
+      if (assigned[static_cast<std::size_t>(w)] < 0) {
+        frontier[static_cast<std::size_t>(r)].insert(w);
+      }
+    }
+  }
+  while (remaining > 0) {
+    int r = -1;
+    for (int i = 0; i < k; ++i) {
+      // Claimed switches linger in other regions' frontiers; purge lazily.
+      auto& f = frontier[static_cast<std::size_t>(i)];
+      while (!f.empty() && assigned[static_cast<std::size_t>(*f.begin())] >= 0) {
+        f.erase(f.begin());
+      }
+      if (f.empty()) continue;
+      if (r < 0 ||
+          load[static_cast<std::size_t>(i)] < load[static_cast<std::size_t>(r)]) {
+        r = i;
+      }
+    }
+    if (r < 0) break;  // only disconnected leftovers remain
+    auto& f = frontier[static_cast<std::size_t>(r)];
+    const int sw = *f.begin();
+    f.erase(f.begin());
+    assigned[static_cast<std::size_t>(sw)] = r;
+    load[static_cast<std::size_t>(r)] += weight[static_cast<std::size_t>(sw)];
+    --remaining;
+    for (const int w : topo.neighbors(sw)) {
+      if (assigned[static_cast<std::size_t>(w)] < 0) f.insert(w);
+    }
+  }
+  for (int sw = 0; sw < n && remaining > 0; ++sw) {
+    if (assigned[static_cast<std::size_t>(sw)] >= 0) continue;
+    const auto it = std::min_element(load.begin(), load.end());
+    const int r = static_cast<int>(it - load.begin());
+    assigned[static_cast<std::size_t>(sw)] = r;
+    *it += weight[static_cast<std::size_t>(sw)];
+    --remaining;
+  }
+
+  layout.shard_of_switch.assign(assigned.begin(), assigned.end());
+  return layout;
+}
+
+ShardLayout layout_from_assignment(std::vector<int> region_of) {
+  ShardLayout layout;
+  int max_region = 0;
+  for (int& r : region_of) {
+    if (r < 0) r = 0;
+    max_region = std::max(max_region, r);
+  }
+  layout.shard_count = region_of.empty() ? 1 : max_region + 1;
+  layout.shard_of_switch = std::move(region_of);
+  return layout;
+}
+
+}  // namespace sdnprobe::shard

@@ -1,0 +1,53 @@
+// Deterministic rule-graph partitioner (DESIGN.md §17).
+//
+// Shards are sets of *switches*: every flow entry lives on exactly one
+// switch, so a switch-level layout assigns every rule-graph vertex to
+// exactly one shard, and the only rule-graph edges a per-shard slice loses
+// are the cross-shard handoffs — the boundary edges ShardedSnapshot tracks
+// explicitly. The layout is a pure function of (snapshot, config): seeded
+// METIS-like greedy region growing over the switch topology, weighted by
+// active vertices per switch, so any two runs (any thread count, any
+// machine) produce the same layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/analysis_snapshot.h"
+#include "flow/ruleset.h"
+
+namespace sdnprobe::shard {
+
+struct ShardConfig {
+  int shard_count = 1;
+  std::uint64_t seed = 1;
+};
+
+struct ShardLayout {
+  int shard_count = 1;
+  // shard_of_switch[sw] in [0, shard_count); covers every topology node.
+  std::vector<int> shard_of_switch;
+
+  int shard_of(flow::SwitchId sw) const {
+    if (sw < 0 || static_cast<std::size_t>(sw) >= shard_of_switch.size()) {
+      return 0;
+    }
+    return shard_of_switch[static_cast<std::size_t>(sw)];
+  }
+};
+
+// Seeded greedy region growing: k seed switches (first drawn
+// weight-proportionally from Rng(config.seed), the rest farthest-point by
+// BFS hop distance), then regions claim frontier switches
+// lightest-region-first until every switch is assigned. Disconnected
+// leftovers go to the lightest region. Deterministic: ties break on lowest
+// switch id, and nothing depends on thread scheduling.
+ShardLayout make_layout(const core::AnalysisSnapshot& snap,
+                        const ShardConfig& config);
+
+// Wraps an externally supplied per-switch region assignment (e.g. the
+// regional generator's ground truth) as a layout. Region ids must be dense
+// in [0, max+1).
+ShardLayout layout_from_assignment(std::vector<int> region_of);
+
+}  // namespace sdnprobe::shard

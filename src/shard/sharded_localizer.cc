@@ -1,0 +1,18 @@
+#include "shard/sharded_localizer.h"
+
+#include "util/rng.h"
+
+namespace sdnprobe::shard {
+
+core::DetectionReport ShardedLocalizer::run(
+    core::FaultLocalizer::RoundCallback callback) {
+  ShardedProbeEngine engine(*snap_, config_.engine, pool_);
+  util::Rng rng(config_.engine.common.seed);
+  probe_set_ = engine.generate(rng);
+  core::FaultLocalizer localizer(snap_->full(), *ctrl_, *loop_,
+                                 config_.localizer);
+  localizer.set_cover_probes(probe_set_.probes);
+  return localizer.run(std::move(callback));
+}
+
+}  // namespace sdnprobe::shard

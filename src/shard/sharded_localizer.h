@@ -1,0 +1,49 @@
+// ShardedLocalizer (DESIGN.md §17): the one-shot sharded detection
+// pipeline. Probes come from ShardedProbeEngine's canonical merge; the
+// localization episode itself (Algorithm 2) runs over the *full* snapshot
+// with that fixed cover — sharding changes how the cover is produced, never
+// what the localizer concludes, which is the subsystem's bit-identity
+// contract.
+#pragma once
+
+#include "controller/controller.h"
+#include "core/localizer.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_snapshot.h"
+#include "sim/event_loop.h"
+
+namespace sdnprobe::shard {
+
+struct ShardedLocalizerConfig {
+  ShardedEngineConfig engine;
+  // Deterministic mode only (set_cover_probes contract): the merged probe
+  // set is the fixed cover reused at every full-cover restart.
+  core::LocalizerConfig localizer;
+};
+
+class ShardedLocalizer {
+ public:
+  ShardedLocalizer(const ShardedSnapshot& snap, controller::Controller& ctrl,
+                   sim::EventLoop& loop, ShardedLocalizerConfig config = {},
+                   util::ThreadPool* pool = nullptr)
+      : snap_(&snap), ctrl_(&ctrl), loop_(&loop), config_(std::move(config)),
+        pool_(pool) {}
+
+  // Generates the merged probe set (probe RNG seeded from
+  // config.engine.common.seed) and runs one detection episode over it.
+  core::DetectionReport run(core::FaultLocalizer::RoundCallback callback =
+                                nullptr);
+
+  // The probe set the last run() generated (empty before the first run).
+  const ProbeSet& probe_set() const { return probe_set_; }
+
+ private:
+  const ShardedSnapshot* snap_;
+  controller::Controller* ctrl_;
+  sim::EventLoop* loop_;
+  ShardedLocalizerConfig config_;
+  util::ThreadPool* pool_;
+  ProbeSet probe_set_;
+};
+
+}  // namespace sdnprobe::shard

@@ -1,0 +1,83 @@
+#include "shard/sharded_snapshot.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sdnprobe::shard {
+
+ShardedSnapshot::ShardedSnapshot(const core::AnalysisSnapshot& full,
+                                 ShardLayout layout, util::ThreadPool* pool)
+    : full_(&full), layout_(std::move(layout)) {
+  const int k = layout_.shard_count;
+  const flow::RuleSet& rules = full.rules();
+  shards_.resize(static_cast<std::size_t>(k));
+  to_global_.resize(static_cast<std::size_t>(k));
+
+  // Slice each shard independently (read-only over the shared RuleSet).
+  auto build_shard = [&](std::size_t s) {
+    std::vector<std::uint8_t> keep(layout_.shard_of_switch.size(), 0);
+    for (std::size_t sw = 0; sw < keep.size(); ++sw) {
+      keep[sw] = layout_.shard_of_switch[sw] == static_cast<int>(s) ? 1 : 0;
+    }
+    core::RuleGraph sliced(rules, keep);
+    shards_[s] = std::make_unique<core::AnalysisSnapshot>(
+        core::AnalysisSnapshot::adopt(std::move(sliced)));
+    const core::AnalysisSnapshot& local = *shards_[s];
+    auto& map = to_global_[s];
+    map.resize(static_cast<std::size_t>(local.vertex_count()));
+    for (core::VertexId v = 0; v < local.vertex_count(); ++v) {
+      const core::VertexId g = full.vertex_for(local.entry_of(v));
+      SDNPROBE_CHECK_GE(g, 0)
+          << "sliced vertex has no counterpart in the full snapshot";
+      map[static_cast<std::size_t>(v)] = g;
+    }
+  };
+  if (pool != nullptr && k > 1) {
+    util::parallel_for(pool, static_cast<std::size_t>(k), build_shard);
+  } else {
+    for (int s = 0; s < k; ++s) build_shard(static_cast<std::size_t>(s));
+  }
+
+  // Boundary edges from the full snapshot's adjacency, in (from, to) order
+  // (successor lists are built in ascending target order per source, so the
+  // scan below is already sorted).
+  boundary_of_shard_.resize(static_cast<std::size_t>(k));
+  for (core::VertexId v = 0; v < full.vertex_count(); ++v) {
+    if (!full.is_active(v)) continue;
+    const int sv = shard_of_vertex(v);
+    for (const core::VertexId w : full.successors(v)) {
+      const int sw = shard_of_vertex(w);
+      if (sv == sw) continue;
+      const std::size_t idx = boundary_edges_.size();
+      boundary_edges_.push_back(BoundaryEdge{v, w});
+      boundary_of_shard_[static_cast<std::size_t>(sv)].push_back(idx);
+      boundary_of_shard_[static_cast<std::size_t>(sw)].push_back(idx);
+    }
+  }
+  std::vector<std::size_t> order(boundary_edges_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const BoundaryEdge& ea = boundary_edges_[a];
+    const BoundaryEdge& eb = boundary_edges_[b];
+    return ea.from != eb.from ? ea.from < eb.from : ea.to < eb.to;
+  });
+  std::vector<std::size_t> rank(order.size());
+  std::vector<BoundaryEdge> sorted(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted[i] = boundary_edges_[order[i]];
+    rank[order[i]] = i;
+  }
+  boundary_edges_ = std::move(sorted);
+  for (auto& list : boundary_of_shard_) {
+    for (std::size_t& idx : list) idx = rank[idx];
+    std::sort(list.begin(), list.end());
+  }
+}
+
+int ShardedSnapshot::shard_of_vertex(core::VertexId global_v) const {
+  const flow::EntryId id = full_->entry_of(global_v);
+  return layout_.shard_of(full_->rules().entry(id).switch_id);
+}
+
+}  // namespace sdnprobe::shard

@@ -1,0 +1,69 @@
+// ShardedSnapshot (DESIGN.md §17): per-shard AnalysisSnapshots sliced from
+// one full snapshot, plus the cross-shard boundary-edge table.
+//
+// Each shard's snapshot is a RuleGraph built with the switch filter of its
+// shard. Because per-entry input spaces depend only on same-switch
+// same-table priority structure, a sliced vertex has exactly the in/out
+// spaces of its counterpart in the full graph; the slice differs from the
+// induced subgraph in nothing — cross-shard edges are simply absent, and
+// they are recorded here (globally sorted) as the boundary-edge table every
+// shard's stitching superstep reads. Every boundary edge appears in exactly
+// two shards' boundary lists: its source's shard and its target's shard.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/analysis_snapshot.h"
+#include "shard/partition.h"
+#include "util/thread_pool.h"
+
+namespace sdnprobe::shard {
+
+class ShardedSnapshot {
+ public:
+  // Global vertex ids refer to `full`; `full` must outlive this object.
+  // Slicing fans out across `pool` when given (one independent RuleGraph
+  // build per shard; read-only over the shared RuleSet).
+  ShardedSnapshot(const core::AnalysisSnapshot& full, ShardLayout layout,
+                  util::ThreadPool* pool = nullptr);
+
+  const core::AnalysisSnapshot& full() const { return *full_; }
+  const ShardLayout& layout() const { return layout_; }
+  int shard_count() const { return layout_.shard_count; }
+
+  const core::AnalysisSnapshot& shard(int s) const { return *shards_[s]; }
+
+  // Global vertex id of shard-local vertex v.
+  core::VertexId to_global(int s, core::VertexId v) const {
+    return to_global_[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)];
+  }
+
+  // Shard owning a global vertex (via its entry's switch).
+  int shard_of_vertex(core::VertexId global_v) const;
+
+  struct BoundaryEdge {
+    core::VertexId from = -1;  // global ids; shard(from) != shard(to)
+    core::VertexId to = -1;
+  };
+  // All cross-shard rule-graph edges, sorted by (from, to).
+  const std::vector<BoundaryEdge>& boundary_edges() const {
+    return boundary_edges_;
+  }
+  // Per-shard boundary table: indices into boundary_edges() of every edge
+  // with at least one endpoint in the shard, ascending.
+  const std::vector<std::size_t>& boundary_of_shard(int s) const {
+    return boundary_of_shard_[static_cast<std::size_t>(s)];
+  }
+
+ private:
+  const core::AnalysisSnapshot* full_;
+  ShardLayout layout_;
+  std::vector<std::unique_ptr<core::AnalysisSnapshot>> shards_;
+  std::vector<std::vector<core::VertexId>> to_global_;
+  std::vector<BoundaryEdge> boundary_edges_;
+  std::vector<std::vector<std::size_t>> boundary_of_shard_;
+};
+
+}  // namespace sdnprobe::shard

@@ -58,6 +58,37 @@ bool Graph::is_connected() const {
   return visited == node_count();
 }
 
+std::vector<NodeId> Graph::shortest_path_tree(NodeId root) const {
+  const int n = node_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  std::vector<NodeId> next(static_cast<std::size_t>(n), -1);
+  if (root < 0 || root >= n) return next;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(root)] = 0.0;
+  next[static_cast<std::size_t>(root)] = root;
+  pq.emplace(0.0, root);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (NodeId v : neighbors(u)) {
+      const double w = *edge_latency(u, v);
+      // Strict relaxation: the first settled parent at a given distance
+      // wins, which is deterministic (heap pops ties by lowest node id).
+      if (dist[static_cast<std::size_t>(u)] + w <
+          dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] + w;
+        next[static_cast<std::size_t>(v)] = u;  // v's hop toward root
+        pq.emplace(dist[static_cast<std::size_t>(v)], v);
+      }
+    }
+  }
+  return next;
+}
+
 Path Graph::shortest_path(NodeId src, NodeId dst) const {
   const std::vector<std::uint8_t> none(
       static_cast<std::size_t>(node_count()), 0);

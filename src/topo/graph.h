@@ -60,6 +60,13 @@ class Graph {
   // Single-source shortest path by latency. Unreachable => empty path.
   Path shortest_path(NodeId src, NodeId dst) const;
 
+  // Shortest-path in-tree toward `root`: next[u] is u's first hop on a
+  // latency-shortest path from u to root (next[root] = root, -1 when
+  // unreachable). One Dijkstra serves every source for a fixed destination
+  // — the ruleset synthesizer's aggregate tables use this instead of one
+  // shortest_path() call per (source, destination) pair.
+  std::vector<NodeId> shortest_path_tree(NodeId root) const;
+
   // Yen's algorithm: up to k loopless shortest paths in nondecreasing cost.
   std::vector<Path> k_shortest_paths(NodeId src, NodeId dst, int k) const;
 

@@ -1,0 +1,335 @@
+// Behavioral tests for the sharded analysis subsystem (src/shard/,
+// DESIGN.md §17): partition soundness under fuzz, bit-identity of the
+// merged probe set with the unsharded pipeline at shard_count=1,
+// thread-count independence at every shard count, detection equivalence of
+// sharded covers, and sharded monitor churn repair.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+#include "core/analysis_snapshot.h"
+#include "core/mlpc.h"
+#include "core/probe_engine.h"
+#include "core/scenario.h"
+#include "dataplane/network.h"
+#include "flow/synthesizer.h"
+#include "monitor/monitor.h"
+#include "shard/partition.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_localizer.h"
+#include "shard/sharded_snapshot.h"
+#include "topo/generator.h"
+
+namespace sdnprobe::shard {
+namespace {
+
+struct Fixture {
+  flow::RuleSet rules;
+  std::unique_ptr<core::RuleGraph> graph;
+  std::unique_ptr<core::AnalysisSnapshot> snap;
+  sim::EventLoop loop;
+  std::unique_ptr<dataplane::Network> net;
+  std::unique_ptr<controller::Controller> ctrl;
+
+  explicit Fixture(std::uint64_t seed = 4, long entries = 1000,
+                   int switches = 14) {
+    topo::GeneratorConfig tc;
+    tc.node_count = switches;
+    tc.link_count = switches + 10;
+    tc.seed = seed;
+    const topo::Graph g = topo::make_rocketfuel_like(tc);
+    flow::SynthesizerConfig sc;
+    sc.target_entry_count = entries;
+    sc.seed = seed + 1;
+    rules = flow::synthesize_ruleset(g, sc);
+    graph = std::make_unique<core::RuleGraph>(rules);
+    snap = std::make_unique<core::AnalysisSnapshot>(*graph);
+    net = std::make_unique<dataplane::Network>(rules, loop);
+    ctrl = std::make_unique<controller::Controller>(rules, *net);
+  }
+};
+
+std::string space_string(const hsa::HeaderSpace& s) {
+  std::string out;
+  for (const auto& cube : s.cubes()) {
+    out += cube.to_string();
+    out += '|';
+  }
+  return out;
+}
+
+std::vector<std::string> render_probes(const std::vector<core::Probe>& ps) {
+  std::vector<std::string> out;
+  out.reserve(ps.size());
+  for (const auto& p : ps) {
+    std::string r = p.header.to_string() + "/" + p.expected_return.to_string();
+    for (const auto v : p.path) r += ":" + std::to_string(v);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST(Partition, FuzzEveryRuleExactlyOnceAndBoundariesTwice) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    Fixture fx(seed, 800);
+    for (const int k : {2, 3, 5, 8}) {
+      const ShardLayout layout =
+          make_layout(*fx.snap, ShardConfig{k, seed});
+      ASSERT_EQ(layout.shard_count, k);
+      ASSERT_EQ(layout.shard_of_switch.size(),
+                static_cast<std::size_t>(fx.rules.switch_count()));
+      for (const int s : layout.shard_of_switch) {
+        EXPECT_GE(s, 0);
+        EXPECT_LT(s, k);
+      }
+
+      const ShardedSnapshot sliced(*fx.snap, layout);
+      // Every full-graph vertex (= rule) lands in exactly one shard.
+      std::vector<int> times_seen(
+          static_cast<std::size_t>(fx.snap->vertex_count()), 0);
+      for (int s = 0; s < k; ++s) {
+        for (core::VertexId v = 0; v < sliced.shard(s).vertex_count(); ++v) {
+          const core::VertexId g = sliced.to_global(s, v);
+          ASSERT_GE(g, 0);
+          ASSERT_LT(g, fx.snap->vertex_count());
+          ++times_seen[static_cast<std::size_t>(g)];
+          EXPECT_EQ(layout.shard_of(
+                        fx.rules.entry(fx.snap->entry_of(g)).switch_id),
+                    s);
+        }
+      }
+      for (const int t : times_seen) ASSERT_EQ(t, 1);
+
+      // The boundary table is exactly the full graph's cross-shard edges.
+      std::set<std::pair<core::VertexId, core::VertexId>> expected;
+      for (core::VertexId v = 0; v < fx.snap->vertex_count(); ++v) {
+        if (!fx.snap->is_active(v)) continue;
+        const int sv = layout.shard_of(
+            fx.rules.entry(fx.snap->entry_of(v)).switch_id);
+        for (const core::VertexId w : fx.snap->successors(v)) {
+          const int sw = layout.shard_of(
+              fx.rules.entry(fx.snap->entry_of(w)).switch_id);
+          if (sv != sw) expected.insert({v, w});
+        }
+      }
+      std::set<std::pair<core::VertexId, core::VertexId>> got;
+      for (const auto& e : sliced.boundary_edges()) {
+        EXPECT_NE(sliced.shard_of_vertex(e.from), sliced.shard_of_vertex(e.to));
+        got.insert({e.from, e.to});
+      }
+      EXPECT_EQ(got, expected);
+
+      // Each boundary edge appears in exactly two shards' tables: its
+      // source's shard and its target's shard.
+      std::vector<int> tables_holding(sliced.boundary_edges().size(), 0);
+      for (int s = 0; s < k; ++s) {
+        for (const std::size_t idx : sliced.boundary_of_shard(s)) {
+          ASSERT_LT(idx, sliced.boundary_edges().size());
+          const auto& e = sliced.boundary_edges()[idx];
+          EXPECT_TRUE(sliced.shard_of_vertex(e.from) == s ||
+                      sliced.shard_of_vertex(e.to) == s);
+          ++tables_holding[idx];
+        }
+      }
+      for (const int t : tables_holding) EXPECT_EQ(t, 2);
+    }
+  }
+}
+
+TEST(Partition, SlicedSpacesMatchFullGraph) {
+  // Per-entry input spaces depend only on same-switch same-table priority
+  // structure, so slicing must not change any vertex's in/out space.
+  for (const std::uint64_t seed : {7u, 8u}) {
+    Fixture fx(seed, 700);
+    const ShardLayout layout = make_layout(*fx.snap, ShardConfig{4, seed});
+    const ShardedSnapshot sliced(*fx.snap, layout);
+    for (int s = 0; s < sliced.shard_count(); ++s) {
+      const auto& shard = sliced.shard(s);
+      for (core::VertexId v = 0; v < shard.vertex_count(); ++v) {
+        const core::VertexId g = sliced.to_global(s, v);
+        ASSERT_EQ(space_string(shard.in_space(v)),
+                  space_string(fx.snap->in_space(g)));
+        ASSERT_EQ(space_string(shard.out_space(v)),
+                  space_string(fx.snap->out_space(g)));
+        ASSERT_EQ(shard.is_active(v), fx.snap->is_active(g));
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, ShardCountOneIsBitIdenticalToUnshardedPipeline) {
+  Fixture fx(9, 1200);
+  const std::uint64_t seed = 21;
+
+  // Unsharded reference: MLPC + ProbeEngine exactly as the one-shot
+  // pipeline runs them.
+  core::MlpcConfig mc;
+  mc.common.seed = seed;
+  const core::Cover cover = core::MlpcSolver(mc).solve(*fx.snap);
+  core::ProbeEngineConfig pc;
+  core::ProbeEngine engine(*fx.snap, pc);
+  util::Rng ref_rng(seed);
+  const auto reference = engine.make_probes(cover, ref_rng);
+
+  const ShardLayout layout = make_layout(*fx.snap, ShardConfig{1, seed});
+  const ShardedSnapshot sliced(*fx.snap, layout);
+  ShardedEngineConfig ec;
+  ec.common.seed = seed;
+  ShardedProbeEngine sharded(sliced, ec);
+  util::Rng rng(seed);
+  const ProbeSet ps = sharded.generate(rng);
+
+  EXPECT_EQ(ps.boundary_probe_count, 0u);
+  EXPECT_EQ(ps.cover_probe_count, reference.size());
+  EXPECT_EQ(render_probes(ps.probes), render_probes(reference));
+  EXPECT_EQ(ps.stats, engine.stats());
+  // Both consumed exactly one draw from the caller's stream.
+  EXPECT_EQ(rng.next(), ref_rng.next());
+}
+
+TEST(ShardedEngine, ThreadCountNeverChangesTheMergedProbeSet) {
+  Fixture fx(5, 1000);
+  for (const int k : {1, 2, 8}) {
+    std::vector<std::string> reference;
+    ProbeSet first;
+    for (const int threads : {1, 8}) {
+      const ShardLayout layout = make_layout(*fx.snap, ShardConfig{k, 3});
+      const ShardedSnapshot sliced(*fx.snap, layout);
+      ShardedEngineConfig ec;
+      ec.common.seed = 17;
+      ec.common.threads = threads;
+      ShardedProbeEngine engine(sliced, ec);
+      util::Rng rng(17);
+      const ProbeSet ps = engine.generate(rng);
+      const auto rendered = render_probes(ps.probes);
+      if (reference.empty()) {
+        reference = rendered;
+        first = ps;
+      } else {
+        EXPECT_EQ(rendered, reference) << "k=" << k << " threads=" << threads;
+        EXPECT_EQ(ps.cover_probe_count, first.cover_probe_count);
+        EXPECT_EQ(ps.boundary_probe_count, first.boundary_probe_count);
+        EXPECT_EQ(ps.shard_cover_sizes, first.shard_cover_sizes);
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, EveryShardCountCoversAllActiveVertices) {
+  Fixture fx(6, 1000);
+  for (const int k : {1, 2, 8}) {
+    const ShardLayout layout = make_layout(*fx.snap, ShardConfig{k, 6});
+    const ShardedSnapshot sliced(*fx.snap, layout);
+    ShardedEngineConfig ec;
+    ec.common.seed = 6;
+    ShardedProbeEngine engine(sliced, ec);
+    util::Rng rng(6);
+    const ProbeSet ps = engine.generate(rng);
+    std::vector<std::uint8_t> covered(
+        static_cast<std::size_t>(fx.snap->vertex_count()), 0);
+    for (const auto& p : ps.probes) {
+      for (const auto v : p.path) covered[static_cast<std::size_t>(v)] = 1;
+    }
+    for (core::VertexId v = 0; v < fx.snap->vertex_count(); ++v) {
+      if (fx.snap->is_active(v)) {
+        ASSERT_TRUE(covered[static_cast<std::size_t>(v)])
+            << "k=" << k << " vertex " << v << " uncovered";
+      }
+    }
+    // Probe ids are 1..n in canonical merged order.
+    for (std::size_t i = 0; i < ps.probes.size(); ++i) {
+      EXPECT_EQ(ps.probes[i].probe_id, static_cast<std::uint64_t>(i + 1));
+    }
+  }
+}
+
+TEST(ShardedLocalizer, FlaggedSetIdenticalAcrossShardCounts) {
+  // Sharding changes how the cover is produced, never what the localizer
+  // concludes. A persistent drop fails every covering probe regardless of
+  // the concrete header, so the flagged set is a sound cross-cover
+  // invariant (a modify fault's visibility can depend on the injected
+  // header, which legitimately differs between covers).
+  std::vector<std::vector<flow::SwitchId>> flagged_by_k;
+  for (const int k : {1, 2, 8}) {
+    Fixture fx(12, 900);
+    util::Rng rng(3);
+    const auto ids = core::choose_faulty_entries(*fx.graph, 1, rng);
+    fx.net->faults().add_fault(ids[0], dataplane::FaultSpec::Drop());
+    const ShardLayout layout = make_layout(*fx.snap, ShardConfig{k, 12});
+    const ShardedSnapshot sliced(*fx.snap, layout);
+    ShardedLocalizerConfig lc;
+    lc.engine.common.seed = 12;
+    ShardedLocalizer loc(sliced, *fx.ctrl, fx.loop, lc);
+    const auto rep = loc.run();
+    ASSERT_EQ(rep.flagged_switches.size(), 1u) << "k=" << k;
+    EXPECT_EQ(rep.flagged_switches[0], fx.rules.entry(ids[0]).switch_id);
+    flagged_by_k.push_back(rep.flagged_switches);
+  }
+  EXPECT_EQ(flagged_by_k[0], flagged_by_k[1]);
+  EXPECT_EQ(flagged_by_k[0], flagged_by_k[2]);
+}
+
+TEST(ShardedMonitor, ChurnRepairIsDeterministicAndKeepsFullCoverage) {
+  monitor::MonitorConfig config;
+  config.shard_count = 2;
+
+  auto make_fixture = [&config]() {
+    struct MonFx {
+      flow::RuleSet rules;
+      flow::RuleSet spare;
+      sim::EventLoop loop;
+      std::unique_ptr<dataplane::Network> net;
+      std::unique_ptr<controller::Controller> ctrl;
+      std::unique_ptr<monitor::Monitor> mon;
+    };
+    auto fx = std::make_unique<MonFx>();
+    topo::GeneratorConfig tc;
+    tc.node_count = 12;
+    tc.link_count = 20;
+    tc.seed = 11;
+    const topo::Graph g = topo::make_rocketfuel_like(tc);
+    flow::SynthesizerConfig sc;
+    sc.target_entry_count = 600;
+    sc.seed = 12;
+    fx->rules = flow::synthesize_ruleset(g, sc);
+    flow::SynthesizerConfig spare_sc = sc;
+    spare_sc.target_entry_count = 150;
+    spare_sc.seed = 13;
+    fx->spare = flow::synthesize_ruleset(g, spare_sc);
+    fx->net = std::make_unique<dataplane::Network>(fx->rules, fx->loop);
+    fx->ctrl =
+        std::make_unique<controller::Controller>(fx->rules, *fx->net);
+    fx->mon = std::make_unique<monitor::Monitor>(fx->rules, *fx->ctrl,
+                                                 fx->loop, config);
+    return fx;
+  };
+
+  auto a = make_fixture();
+  auto b = make_fixture();
+  EXPECT_DOUBLE_EQ(a->mon->status().coverage_fraction, 1.0);
+  EXPECT_EQ(render_probes(a->mon->probes()), render_probes(b->mon->probes()));
+
+  for (auto* fx : {a.get(), b.get()}) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      flow::FlowEntry e = fx->spare.entry(static_cast<flow::EntryId>(i));
+      e.id = -1;
+      fx->mon->enqueue(monitor::ChurnOp::install(std::move(e)));
+      fx->mon->enqueue(
+          monitor::ChurnOp::remove(static_cast<flow::EntryId>(20 + 3 * i)));
+    }
+    fx->mon->drain_churn();
+  }
+  EXPECT_EQ(render_probes(a->mon->probes()), render_probes(b->mon->probes()));
+  EXPECT_DOUBLE_EQ(a->mon->status().coverage_fraction, 1.0)
+      << "sharded repair must re-cover every active vertex";
+  EXPECT_GT(a->mon->churn_stats().probes_kept, 0u)
+      << "sharded repair must keep untouched shards' probes";
+}
+
+}  // namespace
+}  // namespace sdnprobe::shard
